@@ -1,0 +1,439 @@
+// Benchmarks that regenerate every table and figure of the paper, plus
+// the extension and ablation experiments of DESIGN.md. Each benchmark
+// times one full experiment at REPRO_BENCH_SCALE of the paper corpus
+// sizes (default 0.1; use 1 to run paper-size collections) and reports
+// the experiment's headline number as a custom metric.
+//
+// Run them with:
+//
+//	go test -bench=. -benchmem
+//	REPRO_BENCH_SCALE=1 go test -bench=Table1 -benchtime=1x
+package repro
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/langmodel"
+	"repro/internal/metrics"
+)
+
+var (
+	benchOnce sync.Once
+	benchBase *experiments.Suite
+)
+
+// benchSuite prepares (once) the corpora at the benchmark scale; each
+// benchmark gets a fresh Suite sharing those corpora so iterations time
+// the experiment, not corpus generation.
+func benchSuite(b *testing.B, i int) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		scale := 0.1
+		if env := os.Getenv("REPRO_BENCH_SCALE"); env != "" {
+			if f, err := strconv.ParseFloat(env, 64); err == nil && f > 0 {
+				scale = f
+			}
+		}
+		benchBase = experiments.NewSuite(scale, 1)
+		// Pre-build the three corpora outside any timer.
+		for _, name := range experiments.Corpora() {
+			if _, err := benchBase.Env(name); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := benchBase.Env("Support"); err != nil {
+			panic(err)
+		}
+	})
+	return benchBase.WithSharedEnvs(uint64(i + 1))
+}
+
+// BenchmarkTable1Corpora regenerates Table 1 (corpus characteristics).
+func BenchmarkTable1Corpora(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, i)
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[len(rows)-1].Docs), "trec-docs")
+		}
+	}
+}
+
+// benchBaselines runs the three baseline sampling runs and returns them.
+func benchBaselines(b *testing.B, s *experiments.Suite) []*experiments.BaselineRun {
+	b.Helper()
+	runs := make([]*experiments.BaselineRun, 0, 3)
+	for _, name := range experiments.Corpora() {
+		run, err := s.Baseline(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// BenchmarkFigure1aPercentLearned regenerates the Figure 1a curves.
+func BenchmarkFigure1aPercentLearned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := benchBaselines(b, benchSuite(b, i))
+		if i == 0 {
+			last := runs[0].Points[len(runs[0].Points)-1]
+			b.ReportMetric(last.PctLearned, "cacm-pct-learned")
+		}
+	}
+}
+
+// BenchmarkFigure1bCtfRatio regenerates the Figure 1b curves.
+func BenchmarkFigure1bCtfRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := benchBaselines(b, benchSuite(b, i))
+		if i == 0 {
+			for _, r := range runs {
+				last := r.Points[len(r.Points)-1]
+				b.ReportMetric(last.CtfRatio, r.Corpus+"-ctf-ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2Spearman regenerates the Figure 2 curves.
+func BenchmarkFigure2Spearman(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := benchBaselines(b, benchSuite(b, i))
+		if i == 0 {
+			for _, r := range runs {
+				last := r.Points[len(r.Points)-1]
+				b.ReportMetric(last.SpearmanSimple, r.Corpus+"-spearman")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2DocsPerQuery regenerates Table 2 (documents-per-query
+// sweep to an 80% ctf ratio) across all three corpora.
+func BenchmarkTable2DocsPerQuery(b *testing.B) {
+	ns := []int{1, 2, 4, 6, 8, 10}
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b, i)
+		for _, name := range experiments.Corpora() {
+			rows, err := s.Table2(name, ns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && name == "CACM" {
+				for _, r := range rows {
+					if r.N == 4 {
+						b.ReportMetric(float64(r.Docs), "cacm-n4-docs-to-80pct")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3aStrategiesCtf regenerates Figure 3a (ctf ratio by
+// query-selection strategy on WSJ88).
+func BenchmarkFigure3aStrategiesCtf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := benchSuite(b, i).Strategies("WSJ88")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range runs {
+				last := r.Points[len(r.Points)-1]
+				b.ReportMetric(last.CtfRatio, r.Strategy+"-ctf")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3bStrategiesSpearman regenerates Figure 3b.
+func BenchmarkFigure3bStrategiesSpearman(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := benchSuite(b, i).Strategies("WSJ88")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range runs {
+				last := r.Points[len(r.Points)-1]
+				b.ReportMetric(last.SpearmanSimple, r.Strategy+"-spearman")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3QueryCounts regenerates Table 3 (queries needed per
+// strategy to reach the document budget).
+func BenchmarkTable3QueryCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := benchSuite(b, i).Strategies("WSJ88")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range runs {
+				b.ReportMetric(float64(r.Queries), r.Strategy+"-queries")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4Rdiff regenerates Figure 4 (rdiff between 50-document
+// model snapshots).
+func BenchmarkFigure4Rdiff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := benchBaselines(b, benchSuite(b, i))
+		if i == 0 {
+			for _, r := range runs {
+				if len(r.Rdiff) > 0 {
+					b.ReportMetric(r.Rdiff[len(r.Rdiff)-1].Rdiff, r.Corpus+"-final-rdiff")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Summary regenerates Table 4 (top avg-tf terms of the
+// sampled Support database).
+func BenchmarkTable4Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := benchSuite(b, i).Table4(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.SeededFound), "seeded-terms-in-top50")
+		}
+	}
+}
+
+// BenchmarkExtSelectionAgreement runs the selection-fidelity extension.
+func BenchmarkExtSelectionAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.SelectionAgreement(8, 400, []int{50, 150}, 16, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				last := r.Points[len(r.Points)-1]
+				b.ReportMetric(last.Top3Overlap, r.Algorithm+"-top3-overlap")
+			}
+		}
+	}
+}
+
+// BenchmarkExtAdversarial runs the misrepresentation extension.
+func BenchmarkExtAdversarial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Adversarial(6, 400, 120, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.LiarRankCooperative), "liar-rank-cooperative")
+			b.ReportMetric(float64(res.LiarRankSampled), "liar-rank-sampled")
+		}
+	}
+}
+
+// BenchmarkExtSizeEstimation runs the database-size estimation extension
+// (the open problem of §3, solved with capture-recapture and
+// sample-resample).
+func BenchmarkExtSizeEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchSuite(b, i).SizeEstimation(150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.CaptureRecaptureErr, r.Corpus+"-cr-relerr")
+			}
+		}
+	}
+}
+
+// BenchmarkExtPhrase runs the unigram-vs-bigram convergence extension.
+func BenchmarkExtPhrase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := benchSuite(b, i).PhraseConvergence("WSJ88")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(points) > 0 {
+			last := points[len(points)-1]
+			b.ReportMetric(last.UnigramCtf, "unigram-ctf")
+			b.ReportMetric(last.BigramCtf, "bigram-ctf")
+		}
+	}
+}
+
+// BenchmarkExtStoppingRule runs the rdiff stopping-rule extension.
+func BenchmarkExtStoppingRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := benchSuite(b, i).StoppingRule(0.005)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Docs), r.Corpus+"-stop-docs")
+			}
+		}
+	}
+}
+
+// BenchmarkExtSeedVariance runs the seed-robustness extension.
+func BenchmarkExtSeedVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := benchSuite(b, i).SeedVariance("CACM", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(row.CtfStd, "ctf-std")
+		}
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationScoring compares learned-model accuracy when the
+// *database* ranks with BM25 instead of the INQUERY belief function: the
+// sampler must be robust to the database's retrieval model, which it
+// cannot observe.
+func BenchmarkAblationScoring(b *testing.B) {
+	docs := corpus.Scaled(corpus.WSJ88(), 0.1).MustGenerate()
+	for _, scoring := range []index.Scoring{index.InQuery, index.BM25} {
+		b.Run(scoring.String(), func(b *testing.B) {
+			ix := index.Build(docs, analysis.Database(), scoring)
+			actual := ix.LanguageModel()
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(actual, 300, uint64(i+1))
+				cfg.SnapshotEvery = 0
+				res, err := core.Sample(ix, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					norm := res.Learned.Normalize(ix.Analyzer())
+					b.ReportMetric(metrics.CtfRatio(norm, actual), "ctf-ratio")
+					b.ReportMetric(metrics.Spearman(norm, actual, langmodel.ByDF), "spearman")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLearnedAnalyzer compares building the learned model
+// raw (the paper's §4.1 protocol) against stemming+stopping at sampling
+// time: the end-state accuracy is equivalent, which is why the paper can
+// defer normalization to comparison time.
+func BenchmarkAblationLearnedAnalyzer(b *testing.B) {
+	docs := corpus.Scaled(corpus.WSJ88(), 0.1).MustGenerate()
+	ix := index.Build(docs, analysis.Database(), index.InQuery)
+	actual := ix.LanguageModel()
+	for _, mode := range []struct {
+		name string
+		an   analysis.Analyzer
+	}{
+		{"raw", analysis.Raw()},
+		{"stop+stem", analysis.Database()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(actual, 300, uint64(i+1))
+				cfg.Analyzer = mode.an
+				cfg.SnapshotEvery = 0
+				res, err := core.Sample(ix, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					norm := res.Learned.Normalize(ix.Analyzer())
+					b.ReportMetric(metrics.CtfRatio(norm, actual), "ctf-ratio")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSamplerThroughput measures raw sampling speed (documents per
+// second) against an in-process database — the substrate cost floor.
+func BenchmarkSamplerThroughput(b *testing.B) {
+	docs := corpus.Scaled(corpus.WSJ88(), 0.1).MustGenerate()
+	ix := index.Build(docs, analysis.Database(), index.InQuery)
+	actual := ix.LanguageModel()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(actual, 200, uint64(i+1))
+		cfg.SnapshotEvery = 0
+		res, err := core.Sample(ix, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Docs
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkExtFederated runs the end-to-end federated retrieval
+// experiment: centralized vs select-and-merge with actual, sampled, and
+// random database selection.
+func BenchmarkExtFederated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FederatedRetrieval(6, 300, 100, 12, 3, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.PrecisionCentral, "p10-central")
+			b.ReportMetric(res.PrecisionSampled, "p10-sampled")
+			b.ReportMetric(res.PrecisionRandom, "p10-random")
+		}
+	}
+}
+
+// BenchmarkAblationPruning measures what dropping the df=1 tail of learned
+// models costs: model size shrinks by roughly half (half of a text
+// vocabulary occurs once, §4.3.1) while ctf coverage barely moves — the
+// practical deployment trade for a service indexing many databases.
+func BenchmarkAblationPruning(b *testing.B) {
+	docs := corpus.Scaled(corpus.WSJ88(), 0.1).MustGenerate()
+	ix := index.Build(docs, analysis.Database(), index.InQuery)
+	actual := ix.LanguageModel()
+	cfg := core.DefaultConfig(actual, 300, 1)
+	cfg.SnapshotEvery = 0
+	res, err := core.Sample(ix, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	learned := res.Learned.Normalize(ix.Analyzer())
+	for _, minDF := range []int{1, 2, 3} {
+		b.Run("minDF="+strconv.Itoa(minDF), func(b *testing.B) {
+			var pruned *langmodel.Model
+			for i := 0; i < b.N; i++ {
+				pruned = learned.Prune(minDF)
+			}
+			b.ReportMetric(float64(pruned.VocabSize()), "terms")
+			b.ReportMetric(metrics.CtfRatio(pruned, actual), "ctf-ratio")
+			b.ReportMetric(metrics.SpearmanSimple(pruned, actual, langmodel.ByDF), "spearman")
+		})
+	}
+}

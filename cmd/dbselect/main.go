@@ -1,0 +1,128 @@
+// Command dbselect demonstrates the full database-selection pipeline the
+// paper motivates: build a federation of text databases, acquire a
+// language model for each (by query-based sampling or cooperatively), and
+// rank the databases for queries.
+//
+// Usage:
+//
+//	dbselect [-dbs 8] [-docs-each 1000] [-sample-docs 200]
+//	         [-acquire sampled|cooperative] [-alg cori|gloss-sum|gloss-ind]
+//	         [-seed 1] -query "term term ..."
+//
+// With -acquire cooperative, one database lies about the query terms and
+// one refuses to export — the §2.2 failure modes — so the two acquisition
+// paths can be compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/langmodel"
+	"repro/internal/selection"
+	"repro/internal/starts"
+)
+
+func main() {
+	numDBs := flag.Int("dbs", 8, "number of federation databases")
+	docsEach := flag.Int("docs-each", 1000, "documents per database")
+	sampleDocs := flag.Int("sample-docs", 200, "sampling budget per database")
+	acquire := flag.String("acquire", "sampled", "model acquisition: sampled or cooperative")
+	algName := flag.String("alg", "cori", "selection algorithm: cori, gloss-sum, gloss-ind")
+	seed := flag.Uint64("seed", 1, "seed")
+	query := flag.String("query", "", "query terms (space separated); empty picks a topical query")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "dbselect: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var alg selection.Algorithm
+	switch *algName {
+	case "cori":
+		alg = selection.CORI{}
+	case "gloss-sum":
+		alg = selection.Gloss{Estimator: selection.GlossSum}
+	case "gloss-ind":
+		alg = selection.Gloss{Estimator: selection.GlossInd}
+	default:
+		fail("unknown algorithm %q", *algName)
+	}
+
+	fmt.Printf("building %d databases of %d documents each...\n", *numDBs, *docsEach)
+	dbs, err := experiments.Federation(*numDBs, *docsEach, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	// The query: user-supplied, or two frequent topical terms of db 0.
+	var terms []string
+	if *query != "" {
+		an := analysis.Database()
+		terms = an.Tokens(*query)
+	} else {
+		pool := experiments.TopicalTerms(dbs[0], dbs, 10)
+		if len(pool) < 2 {
+			fail("federation too small to derive a topical query")
+		}
+		terms = pool[:2]
+		fmt.Printf("no -query given; using topical query %v (should favor %s)\n", terms, dbs[0].Name)
+	}
+	if len(terms) == 0 {
+		fail("query reduced to no terms after analysis")
+	}
+
+	models := make([]*langmodel.Model, len(dbs))
+	switch *acquire {
+	case "sampled":
+		fmt.Printf("sampling %d documents from each database...\n", *sampleDocs)
+		for i, db := range dbs {
+			cfg := core.DefaultConfig(db.Actual, *sampleDocs, *seed+uint64(i))
+			cfg.SnapshotEvery = 0
+			res, err := core.Sample(db.Index, cfg)
+			if err != nil {
+				fail("sampling %s: %v", db.Name, err)
+			}
+			models[i] = res.Learned.Normalize(db.Index.Analyzer())
+			fmt.Printf("  %s: %d docs, %d queries, %d terms\n",
+				db.Name, res.Docs, res.Queries, models[i].VocabSize())
+		}
+	case "cooperative":
+		fmt.Println("acquiring models via the cooperative (STARTS) protocol...")
+		providers := make([]starts.Provider, len(dbs))
+		for i, db := range dbs {
+			switch i {
+			case 1:
+				providers[i] = starts.Liar{Model: db.Actual, Bait: terms, Factor: 500}
+				fmt.Printf("  %s will LIE about %v\n", db.Name, terms)
+			case 2:
+				providers[i] = starts.Noncooperative{}
+				fmt.Printf("  %s will refuse to cooperate\n", db.Name)
+			default:
+				providers[i] = starts.Cooperative{Model: db.Actual}
+			}
+		}
+		acquired, failures := starts.Acquire(providers)
+		for i := range dbs {
+			if m, ok := acquired[i]; ok {
+				models[i] = m
+			} else {
+				models[i] = langmodel.New() // invisible to the service
+				fmt.Printf("  %s: acquisition failed: %v\n", dbs[i].Name, failures[i])
+			}
+		}
+	default:
+		fail("unknown acquisition mode %q", *acquire)
+	}
+
+	fmt.Printf("\n%s ranking for query %q:\n", alg.Name(), strings.Join(terms, " "))
+	for pos, r := range selection.Rank(alg, terms, models) {
+		fmt.Printf("  %2d. %-20s score=%.4f\n", pos+1, dbs[r.DB].Name, r.Score)
+	}
+}

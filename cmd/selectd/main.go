@@ -1,0 +1,88 @@
+// Command selectd runs a database-selection service as an HTTP daemon —
+// the deployment the paper envisions: one service, many independently
+// operated text databases, language models learned by sampling and kept
+// on disk.
+//
+// Usage:
+//
+//	selectd [-addr :8080] [-store ./models] [-demo n]
+//
+// With -demo n, selectd also spins up n in-process demo databases (served
+// over netsearch, as real remote databases would be), registers them, and
+// samples each — so the API is immediately explorable:
+//
+//	curl localhost:8080/databases
+//	curl localhost:8080/rank?q=some+query
+//	curl localhost:8080/databases/db00-finance/summary?k=10
+//	curl -XPOST localhost:8080/databases -d '{"name":"x","addr":"host:port"}'
+//	curl -XPOST localhost:8080/databases/x/sample -d '{"docs":300}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+	"repro/internal/netsearch"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	storeDir := flag.String("store", "", "directory for persisted language models (empty = in-memory only)")
+	demo := flag.Int("demo", 0, "spin up this many demo databases and sample them")
+	demoDocs := flag.Int("demo-docs", 600, "documents per demo database")
+	sampleDocs := flag.Int("demo-sample", 150, "sampling budget per demo database")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "selectd: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("persisting models under %s\n", st.Dir())
+	}
+
+	svc := service.New(analysis.Database(), st)
+	defer svc.Close()
+
+	if *demo > 0 {
+		fmt.Printf("building %d demo databases...\n", *demo)
+		dbs, err := experiments.Federation(*demo, *demoDocs, 1)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, db := range dbs {
+			ns, err := netsearch.Serve(db.Index, "127.0.0.1:0")
+			if err != nil {
+				fail("%v", err)
+			}
+			defer ns.Close()
+			if err := svc.Register(db.Name, ns.Addr()); err != nil {
+				fail("%v", err)
+			}
+			status, err := svc.Sample(db.Name, service.SampleOptions{Docs: *sampleDocs})
+			if err != nil {
+				fail("sampling %s: %v", db.Name, err)
+			}
+			fmt.Printf("  %s @ %s: %d docs sampled, %d terms learned\n",
+				db.Name, ns.Addr(), status.SampledDocs, status.Terms)
+		}
+	}
+
+	fmt.Printf("selection service listening on http://%s\n", *addr)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		fail("%v", err)
+	}
+}

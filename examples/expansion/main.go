@@ -1,0 +1,94 @@
+// Expansion: co-occurrence query expansion from the union of samples (§8).
+//
+// Query expansion needs a representative corpus to mine co-occurrence
+// patterns from. Expanding from any *one* database biases selection toward
+// it; the union of the samples the selection service already collected is
+// unbiased. This example builds that union across a federation and expands
+// queries with it.
+//
+// Run it with:
+//
+//	go run ./examples/expansion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/expansion"
+	"repro/internal/experiments"
+)
+
+func main() {
+	dbs, err := experiments.Federation(5, 600, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample every database; pool the raw sampled documents. We re-fetch
+	// the sampled documents into the pool by re-running the same sampling
+	// configuration with a recording wrapper.
+	// Pool documents are analyzed with the same pipeline the selection
+	// service uses for queries (stop + stem), so query terms and pooled
+	// terms live in one vocabulary.
+	pool := expansion.NewPool()
+	an := analysis.Database()
+	for i, db := range dbs {
+		rec := &recordingDB{db: db.Index}
+		cfg := core.DefaultConfig(db.Actual, 150, uint64(500+i))
+		cfg.SnapshotEvery = 0
+		if _, err := core.Sample(rec, cfg); err != nil {
+			log.Fatal(err)
+		}
+		for _, text := range rec.texts {
+			pool.AddDocument(an.Tokens(text))
+		}
+	}
+	fmt.Printf("union of samples: %d documents from %d databases\n\n", pool.Docs(), len(dbs))
+
+	// Expand topical queries. Pick, for each target database, a topical
+	// term the pooled sample actually saw a few times — a term the pool
+	// has never seen has no co-occurrence signal to mine.
+	stop := analysis.InqueryStoplist()
+	for target := 0; target < 3; target++ {
+		var query []string
+		best := 0
+		for _, t := range experiments.TopicalTerms(dbs[target], dbs, 200) {
+			if df := pool.DF(t); df > best {
+				best = df
+				query = []string{t}
+			}
+		}
+		if query == nil {
+			fmt.Printf("(no sampled topical term for %s)\n\n", dbs[target].Name)
+			continue
+		}
+		fmt.Printf("query %v (from %s):\n", query, dbs[target].Name)
+		for _, c := range pool.Expand(query, 5, stop) {
+			fmt.Printf("  + %-16s score=%.5f co-docs=%d\n", c.Term, c.Score, c.CoDocs)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expansion terms come from documents that co-occur with the query")
+	fmt.Println("across the whole federation — no single database is favored.")
+}
+
+// recordingDB wraps a core.Database and keeps the text of every document
+// the sampler fetches — the sample the expansion pool is built from.
+type recordingDB struct {
+	db    core.Database
+	texts []string
+}
+
+func (r *recordingDB) Search(q string, n int) ([]int, error) { return r.db.Search(q, n) }
+
+func (r *recordingDB) Fetch(id int) (corpus.Document, error) {
+	d, err := r.db.Fetch(id)
+	if err == nil {
+		r.texts = append(r.texts, d.Text)
+	}
+	return d, err
+}

@@ -1,0 +1,67 @@
+// Quickstart: learn a language model for a text database you do not
+// control, using nothing but its search interface.
+//
+// This is the minimal end-to-end use of the library:
+//
+//  1. Build (or connect to) a searchable full-text database.
+//  2. Run query-based sampling against it.
+//  3. Inspect the learned language model and measure its accuracy.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/langmodel"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// 1. A database. Here: a synthetic CACM-like collection of 3,204
+	// scientific abstracts, indexed with its own conventions (stopword
+	// removal + Porter stemming) that the sampler knows nothing about.
+	docs := corpus.CACM().MustGenerate()
+	db := index.Build(docs, analysis.Database(), index.InQuery)
+	fmt.Printf("database: %d documents, %d index terms\n", db.NumDocs(), db.VocabSize())
+
+	// 2. Sample it: 4 documents per query, random query terms from the
+	// growing learned model, stop after 300 documents. The initial query
+	// term is drawn from any handy language model — here the database's
+	// own (the paper found the choice immaterial).
+	cfg := core.DefaultConfig(db.LanguageModel(), 300, 42)
+	res, err := core.Sample(db, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d documents with %d queries\n", res.Docs, res.Queries)
+	fmt.Printf("learned model: %d terms, %d occurrences\n",
+		res.Learned.VocabSize(), res.Learned.TotalCTF())
+
+	// 3. How good is it? Normalize the learned vocabulary to the
+	// database's conventions and compare with the actual model.
+	actual := db.LanguageModel()
+	learned := res.Learned.Normalize(db.Analyzer())
+	fmt.Printf("\naccuracy after %d of %d documents (%.1f%% of the database):\n",
+		res.Docs, db.NumDocs(), 100*float64(res.Docs)/float64(db.NumDocs()))
+	fmt.Printf("  vocabulary learned: %5.1f%%  (of unique terms — dominated by rare words)\n",
+		100*metrics.PercentageLearned(learned, actual))
+	fmt.Printf("  ctf ratio:          %5.1f%%  (of term occurrences — the metric that matters)\n",
+		100*metrics.CtfRatio(learned, actual))
+	fmt.Printf("  Spearman rank corr: %6.3f  (df ranking agreement)\n",
+		metrics.Spearman(learned, actual, langmodel.ByDF))
+
+	// Bonus: what is this database about? Top terms by avg-tf.
+	fmt.Println("\nmost informative learned terms (avg-tf):")
+	for _, t := range res.Learned.TopTerms(langmodel.ByAvgTF, 8) {
+		st, _ := res.Learned.Stats(t)
+		fmt.Printf("  %-14s df=%-4d ctf=%d\n", t, st.DF, st.CTF)
+	}
+}

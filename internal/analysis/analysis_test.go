@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"don't stop", []string{"don't", "stop"}},
+		{"U.S. policy", []string{"u", "s", "policy"}},
+		{"80% of 1,000 docs", []string{"80", "of", "1", "000", "docs"}},
+		{"", nil},
+		{"   \t\n ", nil},
+		{"'quoted'", []string{"quoted"}},
+		{"foo--bar", []string{"foo", "bar"}},
+		{"Wall Street Journal (1988)", []string{"wall", "street", "journal", "1988"}},
+		{"e-mail", []string{"e", "mail"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("MiXeD CaSe TOKENS") {
+		if tok != strings.ToLower(tok) {
+			t.Errorf("token %q not lower-cased", tok)
+		}
+	}
+}
+
+func TestTokenizeNoEmptyTokens(t *testing.T) {
+	if err := quick.Check(func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsNumber(t *testing.T) {
+	cases := map[string]bool{
+		"123":   true,
+		"0":     true,
+		"12a":   false,
+		"abc":   false,
+		"":      false,
+		"1988":  true,
+		"don't": false,
+	}
+	for in, want := range cases {
+		if got := IsNumber(in); got != want {
+			t.Errorf("IsNumber(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestInqueryStoplistSize(t *testing.T) {
+	// The paper's databases used InQuery's default 418-word stoplist (§4.1).
+	s := InqueryStoplist()
+	if s.Len() != 418 {
+		t.Fatalf("stoplist has %d words, want 418", s.Len())
+	}
+}
+
+func TestStoplistContains(t *testing.T) {
+	s := InqueryStoplist()
+	for _, w := range []string{"the", "and", "a", "of", "is", "was", "which"} {
+		if !s.Contains(w) {
+			t.Errorf("expected stopword %q missing", w)
+		}
+	}
+	for _, w := range []string{"apple", "database", "query", "microsoft"} {
+		if s.Contains(w) {
+			t.Errorf("content word %q wrongly in stoplist", w)
+		}
+	}
+}
+
+func TestStoplistNilSafe(t *testing.T) {
+	var s *Stoplist
+	if s.Contains("the") {
+		t.Error("nil stoplist should contain nothing")
+	}
+	if s.Len() != 0 {
+		t.Error("nil stoplist should have length 0")
+	}
+}
+
+func TestStoplistWordsRoundTrip(t *testing.T) {
+	s := NewStoplist([]string{"x", "y", "z"})
+	got := s.Words()
+	if len(got) != 3 {
+		t.Fatalf("Words() returned %d entries, want 3", len(got))
+	}
+	for _, w := range got {
+		if !s.Contains(w) {
+			t.Errorf("Words() returned %q not in list", w)
+		}
+	}
+}
+
+func TestAnalyzerRaw(t *testing.T) {
+	a := Raw()
+	got := a.Tokens("The running dogs ran quickly")
+	want := []string{"the", "running", "dogs", "ran", "quickly"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Raw().Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerDatabase(t *testing.T) {
+	a := Database()
+	got := a.Tokens("The running dogs ran quickly")
+	// "the" stopped; rest stemmed.
+	want := []string{"run", "dog", "ran", "quickli"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Database().Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerMinLengthAndNumbers(t *testing.T) {
+	a := Analyzer{MinLength: 3, DropNumbers: true}
+	got := a.Tokens("a an the 42 1988 cat dogs")
+	want := []string{"the", "cat", "dogs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerTerm(t *testing.T) {
+	a := Database()
+	if _, ok := a.Term("the"); ok {
+		t.Error("stopword survived Term")
+	}
+	if got, ok := a.Term("running"); !ok || got != "run" {
+		t.Errorf("Term(running) = %q, %v", got, ok)
+	}
+	if _, ok := a.Term(""); ok {
+		t.Error("empty token survived Term")
+	}
+}
+
+func TestAnalyzerTermMatchesTokens(t *testing.T) {
+	// Term must agree with Tokens on single-word input.
+	a := Database()
+	words := []string{"the", "running", "databases", "microsoft", "42", "a"}
+	for _, w := range words {
+		viaTokens := a.Tokens(w)
+		term, ok := a.Term(w)
+		if ok != (len(viaTokens) == 1) {
+			t.Errorf("Term(%q) ok=%v but Tokens gave %v", w, ok, viaTokens)
+			continue
+		}
+		if ok && term != viaTokens[0] {
+			t.Errorf("Term(%q)=%q, Tokens gave %q", w, term, viaTokens[0])
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("The quick brown fox jumps over the lazy dog. ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}
+
+func BenchmarkAnalyzerDatabase(b *testing.B) {
+	a := Database()
+	text := strings.Repeat("Information retrieval systems index documents using inverted files. ", 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Tokens(text)
+	}
+}

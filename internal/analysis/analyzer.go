@@ -1,0 +1,74 @@
+package analysis
+
+// Analyzer is a configurable text-processing pipeline: tokenize, optionally
+// drop stopwords, optionally stem. Each database indexes with its own
+// Analyzer; the selection service chooses its own, independent one for
+// learned language models. See the package comment for why the asymmetry
+// matters.
+type Analyzer struct {
+	// Stoplist, when non-nil, removes its words after tokenization.
+	Stoplist *Stoplist
+	// Stem applies the Porter stemmer to each surviving token.
+	Stem bool
+	// MinLength drops tokens shorter than this many bytes (0 keeps all).
+	MinLength int
+	// DropNumbers removes all-digit tokens.
+	DropNumbers bool
+}
+
+// Raw is the pipeline the selection service applies to sampled documents:
+// no stopping, no stemming — learned language models keep every term, and
+// normalization happens only at comparison time, exactly as in §4.1.
+func Raw() Analyzer {
+	return Analyzer{}
+}
+
+// Database is the pipeline the experiment databases use for their own
+// indexes: InQuery's default stoplist plus Porter stemming (§4.1).
+func Database() Analyzer {
+	return Analyzer{Stoplist: InqueryStoplist(), Stem: true}
+}
+
+// Tokens runs the pipeline over text and returns the index terms.
+func (a Analyzer) Tokens(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if a.MinLength > 0 && len(t) < a.MinLength {
+			continue
+		}
+		if a.DropNumbers && IsNumber(t) {
+			continue
+		}
+		if a.Stoplist.Contains(t) {
+			continue
+		}
+		if a.Stem {
+			t = Porter(t)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Term runs the pipeline over a single token (already lower-case) and
+// reports whether it survives; the transformed term is returned. Used when
+// normalizing a learned vocabulary against a database's conventions.
+func (a Analyzer) Term(tok string) (string, bool) {
+	if tok == "" {
+		return "", false
+	}
+	if a.MinLength > 0 && len(tok) < a.MinLength {
+		return "", false
+	}
+	if a.DropNumbers && IsNumber(tok) {
+		return "", false
+	}
+	if a.Stoplist.Contains(tok) {
+		return "", false
+	}
+	if a.Stem {
+		tok = Porter(tok)
+	}
+	return tok, true
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// Fuzz targets run their seed corpus under plain `go test` and can be
+// driven further with `go test -fuzz=FuzzTokenize ./internal/analysis`.
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "don't", "80% of 1,000", "ÜBER straße",
+		"'''", "a-b-c", strings.Repeat("x", 10000), "日本語 text",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if unicode.IsUpper(r) {
+					t.Fatalf("upper-case rune in token %q", tok)
+				}
+				if unicode.IsSpace(r) {
+					t.Fatalf("whitespace in token %q", tok)
+				}
+			}
+			if strings.HasPrefix(tok, "'") || strings.HasSuffix(tok, "'") {
+				t.Fatalf("token %q not apostrophe-trimmed", tok)
+			}
+		}
+	})
+}
+
+func FuzzPorter(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "flies", "generalization", "sky",
+		"bbbbbb", "aeiou", "yyyyy", "controlled",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// Porter operates on lower-case ascii words; normalize the input
+		// the way the tokenizer would.
+		var b strings.Builder
+		for _, r := range strings.ToLower(s) {
+			if r >= 'a' && r <= 'z' {
+				b.WriteRune(r)
+			}
+		}
+		w := b.String()
+		got := Porter(w)
+		if len(got) > len(w) {
+			t.Fatalf("Porter(%q) = %q grew the word", w, got)
+		}
+		if got != Porter(w) {
+			t.Fatalf("Porter(%q) nondeterministic", w)
+		}
+		if len(w) <= 2 && got != w {
+			t.Fatalf("Porter(%q) changed a short word to %q", w, got)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+// Package analysis provides the text-processing substrate used by both the
+// databases (to build their own indexes) and the selection service (to build
+// learned language models from sampled documents): tokenization, case
+// folding, a 418-entry stopword list matching the size of InQuery's default
+// list, and the Porter (1980) stemming algorithm.
+//
+// Databases and the selection service are configured with independent
+// Analyzer pipelines. That asymmetry is central to the paper: cooperative
+// protocols founder on incompatible per-database indexing conventions, while
+// query-based sampling lets the selection service normalize sampled text
+// however it likes (§2.2, §3).
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lower-cased tokens. A token is a maximal run of
+// letters, digits, or internal apostrophes; all other characters separate
+// tokens. The rules mirror the simple word tokenizers of 1990s IR engines:
+// "U.S." becomes "u", "s"; "don't" stays one token; "80%" yields "80".
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, strings.Trim(b.String(), "'"))
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			if b.Len() > 0 {
+				b.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	// Trimming may have produced empty tokens (e.g. a bare apostrophe).
+	out := tokens[:0]
+	for _, t := range tokens {
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsNumber reports whether the token consists entirely of digits (with an
+// optional single decimal point or leading sign removed by tokenization,
+// only digit runs survive). The sampler's query-term eligibility rule (§4.4)
+// rejects numbers.
+func IsNumber(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	for _, r := range tok {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}

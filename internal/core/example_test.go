@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+)
+
+// ExampleSample shows the minimal sampling loop: a database we "don't
+// control", reached only through its search interface, and a learned
+// language model built from a handful of retrieved documents.
+func ExampleSample() {
+	db := index.Build([]corpus.Document{
+		{ID: 0, Text: "apple pie with baked apple slices"},
+		{ID: 1, Text: "apple orchards and cider presses"},
+		{ID: 2, Text: "pressing cider from fresh apple harvests"},
+		{ID: 3, Text: "baking bread with sourdough starters"},
+	}, analysis.Raw(), index.InQuery)
+
+	res, err := core.Sample(db, core.Config{
+		DocsPerQuery: 2,
+		Selector:     core.RandomLLM{},
+		Stop:         core.StopAfterDocs(4),
+		InitialTerm:  "apple",
+		Seed:         7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("documents sampled:", res.Docs)
+	fmt.Println("df(apple) in learned model:", res.Learned.DF("apple"))
+	// Output:
+	// documents sampled: 4
+	// df(apple) in learned model: 3
+}
+
+// ExampleStopWhenConverged shows the §6 stopping rule composed with a
+// hard budget backstop.
+func ExampleStopWhenConverged() {
+	stop := core.StopAny(
+		core.StopWhenConverged(0.005, 2, 0 /* langmodel.ByDF */),
+		core.StopAfterDocs(5000),
+	)
+	fmt.Println(stop.Name())
+	// Output:
+	// any(rdiff<0.005-for-2-spans, after-5000-docs)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/langmodel"
+	"repro/internal/metrics"
+)
+
+// State is what a StopCondition may inspect after each query round.
+type State struct {
+	// Docs is the number of distinct documents examined so far.
+	Docs int
+	// Queries is the number of queries issued so far.
+	Queries int
+	// Learned is the learned model so far (read-only for conditions).
+	Learned *langmodel.Model
+	// Snapshots holds the periodic model snapshots (Config.SnapshotEvery).
+	Snapshots []Snapshot
+}
+
+// StopCondition decides when sampling is finished (§6).
+type StopCondition interface {
+	// Name identifies the criterion in reports.
+	Name() string
+	// Done reports whether sampling should stop.
+	Done(s *State) bool
+}
+
+// StopAfterDocs stops once n distinct documents have been examined — the
+// fixed-size criterion the paper uses for its main experiments (300 docs
+// for CACM and WSJ88, 500 for TREC-123, §4.4).
+func StopAfterDocs(n int) StopCondition { return stopDocs(n) }
+
+type stopDocs int
+
+func (s stopDocs) Name() string        { return fmt.Sprintf("after-%d-docs", int(s)) }
+func (s stopDocs) Done(st *State) bool { return st.Docs >= int(s) }
+
+// StopAfterQueries stops once n queries have been issued, regardless of
+// yield. Useful as a budget cap when sampling priced services.
+func StopAfterQueries(n int) StopCondition { return stopQueries(n) }
+
+type stopQueries int
+
+func (s stopQueries) Name() string        { return fmt.Sprintf("after-%d-queries", int(s)) }
+func (s stopQueries) Done(st *State) bool { return st.Queries >= int(s) }
+
+// StopWhenConverged implements the §6 proposal: stop when the learned
+// model's ranking stops moving — rdiff between consecutive model snapshots
+// stays below Threshold for Spans consecutive snapshot intervals. It
+// requires Config.SnapshotEvery > 0 (rdiff is measured between snapshots).
+//
+// The paper suggests "rdiff < 0.005 over 2 consecutive 50 document spans"
+// as a plausible setting.
+func StopWhenConverged(threshold float64, spans int, metric langmodel.RankMetric) StopCondition {
+	if spans < 1 {
+		spans = 1
+	}
+	return &stopConverged{threshold: threshold, spans: spans, metric: metric}
+}
+
+type stopConverged struct {
+	threshold float64
+	spans     int
+	metric    langmodel.RankMetric
+
+	// Done is called after every query but snapshots only appear every
+	// SnapshotEvery documents; cache the verdict per snapshot count.
+	checkedAt int
+	verdict   bool
+}
+
+func (s *stopConverged) Name() string {
+	return fmt.Sprintf("rdiff<%g-for-%d-spans", s.threshold, s.spans)
+}
+
+func (s *stopConverged) Done(st *State) bool {
+	if len(st.Snapshots) < s.spans+1 {
+		return false
+	}
+	if len(st.Snapshots) == s.checkedAt {
+		return s.verdict
+	}
+	s.checkedAt = len(st.Snapshots)
+	s.verdict = true
+	snaps := st.Snapshots[len(st.Snapshots)-(s.spans+1):]
+	for i := 1; i < len(snaps); i++ {
+		if metrics.Rdiff(snaps[i-1].Model, snaps[i].Model, s.metric) >= s.threshold {
+			s.verdict = false
+			break
+		}
+	}
+	return s.verdict
+}
+
+// StopAny stops as soon as any of the given conditions is satisfied.
+// Typical use: StopAny(StopWhenConverged(...), StopAfterDocs(5000)) — a
+// convergence rule with a hard budget backstop.
+func StopAny(conds ...StopCondition) StopCondition { return stopAny(conds) }
+
+type stopAny []StopCondition
+
+func (s stopAny) Name() string {
+	name := "any("
+	for i, c := range s {
+		if i > 0 {
+			name += ", "
+		}
+		name += c.Name()
+	}
+	return name + ")"
+}
+
+func (s stopAny) Done(st *State) bool {
+	for _, c := range s {
+		if c.Done(st) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package corpus
+
+import "repro/internal/analysis"
+
+// Stats summarizes a corpus the way Table 1 of the paper does.
+type Stats struct {
+	Name        string
+	Bytes       int64
+	Docs        int
+	UniqueTerms int
+	TotalTerms  int64
+	Topics      int
+}
+
+// ComputeStats tabulates a Table 1 row for docs, counting terms under the
+// given analyzer (the paper's corpus figures describe the raw collections,
+// so callers typically pass analysis.Raw()).
+func ComputeStats(name string, docs []Document, an analysis.Analyzer) Stats {
+	s := Stats{Name: name, Docs: len(docs)}
+	vocab := make(map[string]struct{})
+	topics := make(map[int]struct{})
+	for i := range docs {
+		d := &docs[i]
+		s.Bytes += int64(len(d.Text)) + int64(len(d.Title))
+		topics[d.Topic] = struct{}{}
+		for _, t := range an.Tokens(d.Text) {
+			s.TotalTerms++
+			vocab[t] = struct{}{}
+		}
+	}
+	s.UniqueTerms = len(vocab)
+	s.Topics = len(topics)
+	return s
+}

@@ -1,0 +1,141 @@
+// Package expansion implements co-occurrence query expansion from the
+// union of database samples (§8). The sampling process leaves the
+// selection service holding document samples s1..sn from databases d1..dn;
+// their union "favors no specific database, but reflects patterns that are
+// common to them all", making it the right corpus for expanding queries
+// *before* database selection — the previously open problem of which
+// database to mine expansion terms from.
+package expansion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Pool is the union of sampled documents across databases, held as
+// per-document term sets for co-occurrence mining.
+type Pool struct {
+	docs []map[string]bool
+	df   map[string]int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{df: make(map[string]int)}
+}
+
+// AddDocument folds one sampled document's tokens into the pool.
+func (p *Pool) AddDocument(tokens []string) {
+	set := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		set[t] = true
+	}
+	for t := range set {
+		p.df[t]++
+	}
+	p.docs = append(p.docs, set)
+}
+
+// AddSample folds a whole database sample (documents as token slices).
+func (p *Pool) AddSample(docs [][]string) {
+	for _, d := range docs {
+		p.AddDocument(d)
+	}
+}
+
+// Docs returns the number of pooled documents.
+func (p *Pool) Docs() int { return len(p.docs) }
+
+// DF returns the number of pooled documents containing term.
+func (p *Pool) DF(term string) int { return p.df[term] }
+
+// Candidate is one proposed expansion term.
+type Candidate struct {
+	// Term is the expansion term.
+	Term string
+	// Score is the co-occurrence weight (EMIM summed over query terms).
+	Score float64
+	// CoDocs is the number of pooled documents containing the term
+	// together with at least one query term.
+	CoDocs int
+}
+
+// Expand proposes up to k expansion terms for the query: terms that
+// co-occur with query terms in pooled documents far more often than chance
+// predicts. Scoring is EMIM (expected mutual information measure) summed
+// over query terms:
+//
+//	Σ_q P(t,q) · log( P(t,q) / (P(t)·P(q)) )
+//
+// with probabilities estimated at document granularity. Stopwords, query
+// terms themselves, numbers and very short terms are never proposed —
+// "illegal alien" may expand "immigration", "the" must not (§8).
+func (p *Pool) Expand(query []string, k int, stop *analysis.Stoplist) []Candidate {
+	if len(p.docs) == 0 || len(query) == 0 || k <= 0 {
+		return nil
+	}
+	isQuery := make(map[string]bool, len(query))
+	for _, q := range query {
+		isQuery[q] = true
+	}
+	n := float64(len(p.docs))
+
+	// Count co-occurrence of every candidate with each query term.
+	co := make(map[string]map[string]int) // query term -> candidate -> co-df
+	coAny := make(map[string]int)         // candidate -> docs shared with >= 1 query term
+	for _, set := range p.docs {
+		var present []string
+		for _, q := range query {
+			if set[q] {
+				present = append(present, q)
+			}
+		}
+		if len(present) == 0 {
+			continue
+		}
+		for t := range set {
+			if isQuery[t] || len(t) < 3 || analysis.IsNumber(t) || stop.Contains(t) {
+				continue
+			}
+			coAny[t]++
+			for _, q := range present {
+				m := co[q]
+				if m == nil {
+					m = make(map[string]int)
+					co[q] = m
+				}
+				m[t]++
+			}
+		}
+	}
+
+	candidates := make([]Candidate, 0, len(coAny))
+	for t, anyCount := range coAny {
+		pt := float64(p.df[t]) / n
+		var score float64
+		for _, q := range query {
+			ctq := co[q][t]
+			if ctq == 0 {
+				continue
+			}
+			ptq := float64(ctq) / n
+			pq := float64(p.df[q]) / n
+			score += ptq * math.Log(ptq/(pt*pq))
+		}
+		if score > 0 {
+			candidates = append(candidates, Candidate{Term: t, Score: score, CoDocs: anyCount})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Score != candidates[j].Score {
+			return candidates[i].Score > candidates[j].Score
+		}
+		return candidates[i].Term < candidates[j].Term
+	})
+	if k < len(candidates) {
+		candidates = candidates[:k]
+	}
+	return candidates
+}

@@ -1,0 +1,166 @@
+package expansion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// pool builds a Pool from whitespace documents.
+func pool(docs ...string) *Pool {
+	p := NewPool()
+	for _, d := range docs {
+		p.AddDocument(strings.Fields(d))
+	}
+	return p
+}
+
+func TestExpandFindsCooccurringTerm(t *testing.T) {
+	// "immigration" co-occurs with "illegal" and "alien"; "soccer" never.
+	p := pool(
+		"immigration illegal alien border policy",
+		"immigration illegal alien reform law",
+		"immigration alien visa quota",
+		"soccer goal match referee",
+		"soccer league cup final",
+		"weather rain sun forecast",
+	)
+	got := p.Expand([]string{"immigration"}, 3, nil)
+	if len(got) == 0 {
+		t.Fatal("no expansion candidates")
+	}
+	terms := map[string]bool{}
+	for _, c := range got {
+		terms[c.Term] = true
+	}
+	if !terms["alien"] {
+		t.Errorf("expected 'alien' among %v", got)
+	}
+	if terms["soccer"] || terms["weather"] {
+		t.Errorf("non-co-occurring term proposed: %v", got)
+	}
+}
+
+func TestExpandExcludesQueryTermsAndStopwords(t *testing.T) {
+	p := pool(
+		"the immigration illegal debate",
+		"the immigration illegal policy",
+		"the immigration illegal law",
+	)
+	got := p.Expand([]string{"immigration"}, 10, analysis.InqueryStoplist())
+	for _, c := range got {
+		if c.Term == "immigration" {
+			t.Error("query term proposed as its own expansion")
+		}
+		if c.Term == "the" {
+			t.Error("stopword proposed")
+		}
+	}
+}
+
+func TestExpandExcludesShortAndNumeric(t *testing.T) {
+	p := pool(
+		"tax 42 ab increase",
+		"tax 42 ab cut",
+		"tax 42 ab reform",
+	)
+	for _, c := range p.Expand([]string{"tax"}, 10, nil) {
+		if c.Term == "42" || c.Term == "ab" {
+			t.Errorf("ineligible term %q proposed", c.Term)
+		}
+	}
+}
+
+func TestExpandRanksStrongerAssociationsHigher(t *testing.T) {
+	// "bonds" appears in every stocks doc; "tulips" in one of four.
+	p := pool(
+		"stocks bonds market",
+		"stocks bonds rally",
+		"stocks bonds trading",
+		"stocks tulips anomaly",
+		"gardening tulips soil",
+		"gardening roses soil",
+		"cooking pasta sauce",
+		"cooking bread oven",
+	)
+	got := p.Expand([]string{"stocks"}, 5, nil)
+	if len(got) < 2 {
+		t.Fatalf("too few candidates: %v", got)
+	}
+	if got[0].Term != "bonds" {
+		t.Errorf("top candidate = %q, want bonds (%v)", got[0].Term, got)
+	}
+}
+
+func TestExpandEdgeCases(t *testing.T) {
+	if got := NewPool().Expand([]string{"x"}, 5, nil); got != nil {
+		t.Errorf("empty pool expansion = %v", got)
+	}
+	p := pool("alpha beta gamma")
+	if got := p.Expand(nil, 5, nil); got != nil {
+		t.Errorf("empty query expansion = %v", got)
+	}
+	if got := p.Expand([]string{"alpha"}, 0, nil); got != nil {
+		t.Errorf("k=0 expansion = %v", got)
+	}
+	if got := p.Expand([]string{"missing"}, 5, nil); len(got) != 0 {
+		t.Errorf("unseen query term expanded to %v", got)
+	}
+}
+
+func TestExpandRespectsK(t *testing.T) {
+	p := pool(
+		"query alpha beta gamma delta epsilon",
+		"query alpha beta gamma delta epsilon",
+	)
+	got := p.Expand([]string{"query"}, 2, nil)
+	if len(got) > 2 {
+		t.Errorf("k=2 returned %d candidates", len(got))
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	p := pool(
+		"query aaa bbb",
+		"query aaa bbb",
+		"query ccc ddd",
+	)
+	a := p.Expand([]string{"query"}, 10, nil)
+	b := p.Expand([]string{"query"}, 10, nil)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic candidate count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic ordering: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAddSampleAndDocs(t *testing.T) {
+	p := NewPool()
+	p.AddSample([][]string{{"a", "b"}, {"c"}})
+	p.AddDocument([]string{"d"})
+	if p.Docs() != 3 {
+		t.Errorf("Docs = %d, want 3", p.Docs())
+	}
+}
+
+func TestMultiTermQueryAggregates(t *testing.T) {
+	// §8's motivating example: "white house" should pull "president", not
+	// terms that co-occur with only one of the words by chance.
+	p := pool(
+		"white house president oval office",
+		"white house president press briefing",
+		"white snow mountain ski",
+		"house music club dance",
+	)
+	got := p.Expand([]string{"white", "house"}, 3, nil)
+	if len(got) == 0 {
+		t.Fatal("no candidates")
+	}
+	if got[0].Term != "president" {
+		t.Errorf("top expansion = %q, want president (%v)", got[0].Term, got)
+	}
+}

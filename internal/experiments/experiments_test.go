@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	sharedSuite     *Suite
+	sharedSuiteOnce sync.Once
+)
+
+// smallSuite keeps unit tests fast: 8% scale, own-model initial terms. The
+// suite caches corpora and runs, so tests share one instance.
+func smallSuite() *Suite {
+	sharedSuiteOnce.Do(func() {
+		sharedSuite = NewSuite(0.08, 1)
+		sharedSuite.InitialFromTREC = false
+	})
+	return sharedSuite
+}
+
+func TestSuiteEnvCaching(t *testing.T) {
+	s := smallSuite()
+	a, err := s.Env("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Env("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Env not cached")
+	}
+	if a.Index.NumDocs() != a.Profile.Docs {
+		t.Errorf("index has %d docs, profile says %d", a.Index.NumDocs(), a.Profile.Docs)
+	}
+}
+
+func TestSuiteEnvUnknownCorpus(t *testing.T) {
+	if _, err := smallSuite().Env("nope"); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Size ordering must match the paper's Table 1.
+	if !(rows[0].Docs < rows[1].Docs && rows[1].Docs < rows[2].Docs) {
+		t.Errorf("doc counts not ordered: %+v", rows)
+	}
+	if !(rows[0].UniqueTerms < rows[1].UniqueTerms && rows[1].UniqueTerms < rows[2].UniqueTerms) {
+		t.Errorf("vocabulary sizes not ordered: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.TotalTerms <= int64(r.UniqueTerms) {
+			t.Errorf("%s: total %d <= unique %d", r.Name, r.TotalTerms, r.UniqueTerms)
+		}
+	}
+}
+
+func TestBaselineCurvesBehave(t *testing.T) {
+	s := smallSuite()
+	run, err := s.Baseline("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Points) < 2 {
+		t.Fatalf("only %d curve points", len(run.Points))
+	}
+	first, last := run.Points[0], run.Points[len(run.Points)-1]
+	// Coverage metrics must improve with more documents.
+	if last.CtfRatio <= first.CtfRatio {
+		t.Errorf("ctf ratio did not grow: %f -> %f", first.CtfRatio, last.CtfRatio)
+	}
+	if last.PctLearned <= first.PctLearned {
+		t.Errorf("pct learned did not grow: %f -> %f", first.PctLearned, last.PctLearned)
+	}
+	for _, p := range run.Points {
+		if p.CtfRatio < 0 || p.CtfRatio > 1 || p.PctLearned < 0 || p.PctLearned > 1 {
+			t.Errorf("metric out of range: %+v", p)
+		}
+		if p.Spearman < -1 || p.Spearman > 1 {
+			t.Errorf("Spearman out of range: %+v", p)
+		}
+	}
+	// rdiff series exists and is bounded.
+	if len(run.Rdiff) < 1 {
+		t.Fatal("no rdiff points")
+	}
+	for _, r := range run.Rdiff {
+		if r.Rdiff < 0 || r.Rdiff > 1 {
+			t.Errorf("rdiff out of range: %+v", r)
+		}
+	}
+}
+
+func TestBaselineCached(t *testing.T) {
+	s := smallSuite()
+	a, err := s.Baseline("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Baseline("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("baseline not cached")
+	}
+}
+
+func TestTable2FewerNStillCrosses(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Table2("CACM", []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Docs == 0 {
+			t.Errorf("N=%d never crossed 80%% ctf ratio", r.N)
+		}
+		if r.Docs > 0 && (r.SRCC < -1 || r.SRCC > 1) {
+			t.Errorf("N=%d SRCC = %f", r.N, r.SRCC)
+		}
+		if r.Queries == 0 {
+			t.Errorf("N=%d no queries recorded", r.N)
+		}
+	}
+}
+
+func TestStrategiesRunAll(t *testing.T) {
+	s := smallSuite()
+	runs, err := s.Strategies("WSJ88")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("got %d strategy runs", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		seen[r.Strategy] = true
+		if r.Docs == 0 || r.Queries == 0 {
+			t.Errorf("strategy %s did nothing: %+v", r.Strategy, r)
+		}
+	}
+	for _, want := range StrategyNames() {
+		if !seen[want] {
+			t.Errorf("strategy %s missing", want)
+		}
+	}
+}
+
+func TestStrategiesOLMNeedsMoreQueries(t *testing.T) {
+	// Table 3's headline: random-olm costs about twice the queries of
+	// random-llm for the same document budget.
+	s := smallSuite()
+	runs, err := s.Strategies("WSJ88")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StrategyRun{}
+	for _, r := range runs {
+		byName[r.Strategy] = r
+	}
+	olm, llm := byName["random-olm"], byName["random-llm"]
+	if olm.Queries <= llm.Queries {
+		t.Errorf("olm %d queries vs llm %d — expected olm to need more",
+			olm.Queries, llm.Queries)
+	}
+	if olm.FailedQueries == 0 {
+		t.Error("olm had no failed queries, expected some")
+	}
+}
+
+func TestTable4SurfacesSeededTerms(t *testing.T) {
+	s := smallSuite()
+	res, err := s.Table4(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no summary rows")
+	}
+	if res.SeededFound < 10 {
+		t.Errorf("only %d of 50 seeded product terms in top-50 (want >= 10 at small scale)", res.SeededFound)
+	}
+	if res.DocsSampled == 0 || res.Queries == 0 {
+		t.Error("no sampling happened")
+	}
+}
+
+func TestHashNameStable(t *testing.T) {
+	if hashName("CACM") != hashName("CACM") {
+		t.Error("hashName not deterministic")
+	}
+	if hashName("CACM") == hashName("WSJ88") {
+		t.Error("hashName collision between corpora")
+	}
+}
+
+func TestDocBudget(t *testing.T) {
+	s := smallSuite()
+	env, err := s.Env("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.docBudget("CACM", env)
+	if b > env.Profile.Docs {
+		t.Errorf("budget %d exceeds corpus size %d", b, env.Profile.Docs)
+	}
+	if b <= 0 {
+		t.Errorf("budget %d", b)
+	}
+}

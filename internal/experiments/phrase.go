@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/langmodel"
+	"repro/internal/metrics"
+	"repro/internal/phrase"
+)
+
+// PhrasePoint compares unigram and bigram coverage at one sample size
+// (ext-phrase). The paper suggests richer models "might include
+// information about phrases" but calls their value unclear (§2.1); this
+// experiment quantifies the cost: phrase vocabularies are much sparser, so
+// phrase statistics converge more slowly under sampling.
+type PhrasePoint struct {
+	// Docs is the number of sampled documents.
+	Docs int
+	// UnigramCtf is the single-term ctf ratio at this point.
+	UnigramCtf float64
+	// BigramCtf is the adjacent-pair ctf ratio at this point.
+	BigramCtf float64
+	// BigramVocab is the learned bigram vocabulary size.
+	BigramVocab int
+}
+
+// recorderDB captures fetched document text in sample order.
+type recorderDB struct {
+	db    core.Database
+	texts []string
+}
+
+func (r *recorderDB) Search(q string, n int) ([]int, error) { return r.db.Search(q, n) }
+
+func (r *recorderDB) Fetch(id int) (corpus.Document, error) {
+	d, err := r.db.Fetch(id)
+	if err == nil {
+		r.texts = append(r.texts, d.Text)
+	}
+	return d, err
+}
+
+// PhraseConvergence samples the corpus once and reports unigram vs bigram
+// ctf-ratio curves at 50-document steps. Both learned and actual models
+// use the database's own analyzer here (one consistent vocabulary for the
+// pair statistics).
+func (s *Suite) PhraseConvergence(name string) ([]PhrasePoint, error) {
+	env, err := s.Env(name)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := s.initialModel(env)
+	if err != nil {
+		return nil, err
+	}
+	an := env.Index.Analyzer()
+
+	// Ground truth over the full corpus.
+	actualUni := env.Actual
+	actualBi := langmodel.New()
+	for i := range env.Docs {
+		actualBi.AddDocument(phrase.Bigrams(an.Tokens(env.Docs[i].Text), nil))
+	}
+
+	rec := &recorderDB{db: env.Index}
+	cfg := core.DefaultConfig(initial, s.docBudget(name, env), s.Seed+hashName(name)+91)
+	cfg.SnapshotEvery = 0
+	if _, err := core.Sample(rec, cfg); err != nil {
+		return nil, fmt.Errorf("experiments: phrase sampling %s: %w", name, err)
+	}
+
+	learnedUni := langmodel.New()
+	learnedBi := langmodel.New()
+	var points []PhrasePoint
+	for i, text := range rec.texts {
+		tokens := an.Tokens(text)
+		learnedUni.AddDocument(tokens)
+		learnedBi.AddDocument(phrase.Bigrams(tokens, nil))
+		if (i+1)%50 == 0 || i == len(rec.texts)-1 {
+			points = append(points, PhrasePoint{
+				Docs:        i + 1,
+				UnigramCtf:  metrics.CtfRatio(learnedUni, actualUni),
+				BigramCtf:   metrics.CtfRatio(learnedBi, actualBi),
+				BigramVocab: learnedBi.VocabSize(),
+			})
+		}
+	}
+	return points, nil
+}
+
+// WritePhrase renders the ext-phrase experiment.
+func WritePhrase(w io.Writer, name string, points []PhrasePoint) error {
+	fmt.Fprintf(w, "Extension: unigram vs phrase (bigram) model convergence (%s)\n", name)
+	tw := newTW(w)
+	fmt.Fprintln(tw, "docs\tunigram ctf ratio\tbigram ctf ratio\tbigram vocab")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%d\n", p.Docs, p.UnigramCtf, p.BigramCtf, p.BigramVocab)
+	}
+	return tw.Flush()
+}

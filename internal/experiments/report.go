@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/corpus"
+	"repro/internal/langmodel"
+	"repro/internal/summarize"
+)
+
+// This file renders experiment results the way the paper presents them:
+// one block per table or figure, with the same rows/series. Figures are
+// printed as aligned numeric series (docs-examined on the x axis).
+
+func newTW(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+}
+
+// WriteTable1 renders the test-corpus summary (Table 1).
+func WriteTable1(w io.Writer, rows []corpus.Stats) error {
+	fmt.Fprintln(w, "Table 1: test corpora")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Name\tSize, bytes\tSize, docs\tSize, unique terms\tSize, total terms\tTopics")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			r.Name, r.Bytes, r.Docs, r.UniqueTerms, r.TotalTerms, r.Topics)
+	}
+	return tw.Flush()
+}
+
+// writeCurve renders one metric column of each run against docs examined.
+func writeCurve(w io.Writer, title, metric string, runs []*BaselineRun, pick func(CurvePoint) float64) error {
+	fmt.Fprintln(w, title)
+	tw := newTW(w)
+	fmt.Fprint(tw, "docs")
+	for _, r := range runs {
+		fmt.Fprintf(tw, "\t%s", r.Corpus)
+	}
+	fmt.Fprintf(tw, "\t(%s)\n", metric)
+	// Union of x positions, assuming aligned 50-doc snapshots.
+	maxLen := 0
+	for _, r := range runs {
+		if len(r.Points) > maxLen {
+			maxLen = len(r.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		docs := 0
+		for _, r := range runs {
+			if i < len(r.Points) {
+				docs = r.Points[i].Docs
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%d", docs)
+		for _, r := range runs {
+			if i < len(r.Points) {
+				fmt.Fprintf(tw, "\t%.4f", pick(r.Points[i]))
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw, "\t")
+	}
+	return tw.Flush()
+}
+
+// WriteFigure1a renders percentage-of-vocabulary-learned curves (Fig 1a).
+func WriteFigure1a(w io.Writer, runs []*BaselineRun) error {
+	return writeCurve(w, "Figure 1a: percentage of database terms covered by the learned language model",
+		"pct learned", runs, func(p CurvePoint) float64 { return p.PctLearned })
+}
+
+// WriteFigure1b renders ctf-ratio curves (Fig 1b).
+func WriteFigure1b(w io.Writer, runs []*BaselineRun) error {
+	return writeCurve(w, "Figure 1b: percentage of database word occurrences covered (ctf ratio)",
+		"ctf ratio", runs, func(p CurvePoint) float64 { return p.CtfRatio })
+}
+
+// WriteFigure2 renders Spearman rank-correlation curves (Fig 2): first the
+// paper's formula and rank convention (dense shared ranks), then the
+// tie-corrected statistic as a methodological footnote.
+func WriteFigure2(w io.Writer, runs []*BaselineRun) error {
+	if err := writeCurve(w, "Figure 2: Spearman rank correlation between learned and actual df rankings",
+		"spearman, paper formula", runs, func(p CurvePoint) float64 { return p.SpearmanSimple }); err != nil {
+		return err
+	}
+	return writeCurve(w, "Figure 2 (tie-corrected Spearman, for reference — df ranks are massively tied)",
+		"spearman, tie-corrected", runs, func(p CurvePoint) float64 { return p.Spearman })
+}
+
+// WriteTable2 renders the documents-per-query sweep (Table 2).
+func WriteTable2(w io.Writer, rows []Table2Row) error {
+	fmt.Fprintln(w, "Table 2: documents examined to reach ctf ratio 80%, by docs-per-query")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Corpus\tDocs/query\tDocs\tSRCC\tQueries")
+	for _, r := range rows {
+		docs := fmt.Sprintf("%d", r.Docs)
+		srcc := fmt.Sprintf("%.2f", r.SRCC)
+		if r.Docs == 0 {
+			docs, srcc = "-", "-"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%d\n", r.Corpus, r.N, docs, srcc, r.Queries)
+	}
+	return tw.Flush()
+}
+
+// writeStrategyCurve renders one metric for each strategy run.
+func writeStrategyCurve(w io.Writer, title string, runs []StrategyRun, pick func(CurvePoint) float64) error {
+	fmt.Fprintln(w, title)
+	tw := newTW(w)
+	fmt.Fprint(tw, "docs")
+	for _, r := range runs {
+		fmt.Fprintf(tw, "\t%s", r.Strategy)
+	}
+	fmt.Fprintln(tw, "\t")
+	maxLen := 0
+	for _, r := range runs {
+		if len(r.Points) > maxLen {
+			maxLen = len(r.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		docs := 0
+		for _, r := range runs {
+			if i < len(r.Points) {
+				docs = r.Points[i].Docs
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%d", docs)
+		for _, r := range runs {
+			if i < len(r.Points) {
+				fmt.Fprintf(tw, "\t%.4f", pick(r.Points[i]))
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw, "\t")
+	}
+	return tw.Flush()
+}
+
+// WriteFigure3a renders ctf-ratio by query-selection strategy (Fig 3a).
+func WriteFigure3a(w io.Writer, runs []StrategyRun) error {
+	return writeStrategyCurve(w,
+		"Figure 3a: ctf ratio by query selection strategy (WSJ88)",
+		runs, func(p CurvePoint) float64 { return p.CtfRatio })
+}
+
+// WriteFigure3b renders Spearman by query-selection strategy (Fig 3b).
+func WriteFigure3b(w io.Writer, runs []StrategyRun) error {
+	return writeStrategyCurve(w,
+		"Figure 3b: Spearman rank correlation by query selection strategy (WSJ88)",
+		runs, func(p CurvePoint) float64 { return p.SpearmanSimple })
+}
+
+// WriteTable3 renders query counts per strategy (Table 3).
+func WriteTable3(w io.Writer, runs []StrategyRun) error {
+	fmt.Fprintln(w, "Table 3: queries required to retrieve the document budget, by strategy")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Strategy\tDocs\tQueries\tFailed queries")
+	for _, r := range runs {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", r.Strategy, r.Docs, r.Queries, r.FailedQueries)
+	}
+	return tw.Flush()
+}
+
+// WriteFigure4 renders the rdiff convergence curves (Fig 4).
+func WriteFigure4(w io.Writer, runs []*BaselineRun) error {
+	fmt.Fprintln(w, "Figure 4: rdiff between language models at consecutive 50-document snapshots")
+	tw := newTW(w)
+	fmt.Fprint(tw, "docs")
+	for _, r := range runs {
+		fmt.Fprintf(tw, "\t%s", r.Corpus)
+	}
+	fmt.Fprintln(tw, "\t")
+	maxLen := 0
+	for _, r := range runs {
+		if len(r.Rdiff) > maxLen {
+			maxLen = len(r.Rdiff)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		docs := 0
+		for _, r := range runs {
+			if i < len(r.Rdiff) {
+				docs = r.Rdiff[i].Docs
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%d", docs)
+		for _, r := range runs {
+			if i < len(r.Rdiff) {
+				fmt.Fprintf(tw, "\t%.5f", r.Rdiff[i].Rdiff)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw, "\t")
+	}
+	return tw.Flush()
+}
+
+// WriteTable4 renders the sampled-database summary (Table 4).
+func WriteTable4(w io.Writer, res *Table4Result) error {
+	fmt.Fprintf(w, "Table 4: top %d terms of the sampled Support database (ranked by avg-tf)\n",
+		len(res.Rows))
+	fmt.Fprintf(w, "(%d docs sampled with %d queries; %d/%d seeded product terms surfaced)\n",
+		res.DocsSampled, res.Queries, res.SeededFound, len(corpus.Table4Terms()))
+	return summarize.Render(w, res.Rows, langmodel.ByAvgTF)
+}
+
+// WriteAgreement renders the ext-agree selection-fidelity experiment.
+func WriteAgreement(w io.Writer, results []AgreementResult) error {
+	fmt.Fprintln(w, "Extension: database-selection agreement, learned vs actual models")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Algorithm\tSample docs\tRanking Spearman\tTop-3 overlap")
+	for _, res := range results {
+		for _, p := range res.Points {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", res.Algorithm, p.SampleDocs, p.Spearman, p.Top3Overlap)
+		}
+	}
+	return tw.Flush()
+}
+
+// WriteAdversarial renders the ext-adv cooperative-failure experiment.
+func WriteAdversarial(w io.Writer, res *AdversarialResult) error {
+	fmt.Fprintln(w, "Extension: misrepresentation and non-cooperation (CORI selection)")
+	tw := newTW(w)
+	fmt.Fprintf(tw, "Bait query\t%v\n", res.Query)
+	fmt.Fprintf(tw, "Liar rank, cooperative (STARTS) models\t%d\n", res.LiarRankCooperative)
+	fmt.Fprintf(tw, "Liar rank, sampled models\t%d\n", res.LiarRankSampled)
+	fmt.Fprintf(tw, "Databases lost to non-cooperation\t%d\n", res.CoverageFailures)
+	return tw.Flush()
+}
+
+// WriteSizes renders the ext-size database-size-estimation experiment.
+func WriteSizes(w io.Writer, rows []SizeRow) error {
+	fmt.Fprintln(w, "Extension: database size estimation by sampling")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Corpus\tActual docs\tCapture-recapture\trel err\tSample-resample\trel err\tSample docs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.2f\t%.0f\t%.2f\t%d\n",
+			r.Corpus, r.Actual, r.CaptureRecapture, r.CaptureRecaptureErr,
+			r.SampleResample, r.SampleResampleErr, r.SampleDocs)
+	}
+	return tw.Flush()
+}
+
+// WriteStopping renders the ext-stop rdiff stopping-rule experiment.
+func WriteStopping(w io.Writer, rows []StoppingRow) error {
+	fmt.Fprintln(w, "Extension: rdiff convergence stopping rule vs fixed budget")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "Corpus\tStop docs\tctf ratio\tSpearman\tFixed docs\tctf ratio\tSpearman")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%d\t%.3f\t%.3f\n",
+			r.Corpus, r.Docs, r.CtfRatio, r.Spearman,
+			r.FixedDocs, r.FixedCtfRatio, r.FixedSpearman)
+	}
+	return tw.Flush()
+}

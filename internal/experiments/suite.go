@@ -1,0 +1,145 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4–§7), plus the extension experiments listed in DESIGN.md.
+// Each experiment is a method on Suite returning structured rows; cmd/
+// experiments prints them paper-style and bench_test.go wraps them in
+// testing.B benchmarks. Everything is deterministic for a given Suite
+// configuration.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/langmodel"
+)
+
+// Env is a prepared test database: generated corpus, built index, and the
+// actual (ground truth) language model.
+type Env struct {
+	// Profile is the corpus recipe used.
+	Profile corpus.Profile
+	// Docs is the generated corpus.
+	Docs []corpus.Document
+	// Index is the database's own index (stopped + stemmed, InQuery
+	// ranking), playing the paper's INQUERY role.
+	Index *index.Index
+	// Actual is the database's actual language model.
+	Actual *langmodel.Model
+}
+
+// Suite prepares and caches the experiment databases.
+type Suite struct {
+	// Scale multiplies every profile's document count; 1.0 runs the
+	// default (DESIGN.md) sizes. Tests use small scales.
+	Scale float64
+	// Seed offsets all sampling seeds, so suites can be replicated.
+	Seed uint64
+	// InitialFromTREC, when true, draws every run's first query term from
+	// the actual TREC123 model, exactly as the paper does (§4.4). When
+	// false (unit tests, quick runs) the first term comes from the sampled
+	// database's own model — the paper found the choice immaterial, and
+	// this avoids building the largest corpus for small experiments.
+	InitialFromTREC bool
+
+	mu         sync.Mutex
+	envs       map[string]*Env
+	baselines  map[string]*BaselineRun
+	strategies map[string][]StrategyRun
+}
+
+// NewSuite returns a Suite at the given scale.
+func NewSuite(scale float64, seed uint64) *Suite {
+	return &Suite{Scale: scale, Seed: seed, InitialFromTREC: true}
+}
+
+// WithSharedEnvs returns a new Suite that shares s's prepared corpora and
+// indexes but none of its cached experiment runs. Benchmarks use it to
+// time experiment runs without re-generating corpora on every iteration.
+func (s *Suite) WithSharedEnvs(seed uint64) *Suite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	envs := make(map[string]*Env, len(s.envs))
+	for k, v := range s.envs {
+		envs[k] = v
+	}
+	return &Suite{
+		Scale:           s.Scale,
+		Seed:            seed,
+		InitialFromTREC: s.InitialFromTREC,
+		envs:            envs,
+	}
+}
+
+// profileByName maps experiment corpus names to profiles.
+func profileByName(name string) (corpus.Profile, error) {
+	switch name {
+	case "CACM":
+		return corpus.CACM(), nil
+	case "WSJ88":
+		return corpus.WSJ88(), nil
+	case "TREC123":
+		return corpus.TREC123(), nil
+	case "Support":
+		return corpus.Support(), nil
+	}
+	return corpus.Profile{}, fmt.Errorf("experiments: unknown corpus %q", name)
+}
+
+// Env returns the prepared environment for one of the paper corpora
+// ("CACM", "WSJ88", "TREC123", "Support"), building and caching it on
+// first use.
+func (s *Suite) Env(name string) (*Env, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if env, ok := s.envs[name]; ok {
+		return env, nil
+	}
+	p, err := profileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if s.Scale > 0 && s.Scale != 1 {
+		p = corpus.Scaled(p, s.Scale)
+	}
+	docs, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	ix := index.Build(docs, analysis.Database(), index.InQuery)
+	env := &Env{Profile: p, Docs: docs, Index: ix, Actual: ix.LanguageModel()}
+	if s.envs == nil {
+		s.envs = make(map[string]*Env)
+	}
+	s.envs[name] = env
+	return env, nil
+}
+
+// initialModel returns the model the first query term is drawn from for a
+// run against env (see InitialFromTREC).
+func (s *Suite) initialModel(env *Env) (*langmodel.Model, error) {
+	if !s.InitialFromTREC {
+		return env.Actual, nil
+	}
+	trec, err := s.Env("TREC123")
+	if err != nil {
+		return nil, err
+	}
+	return trec.Actual, nil
+}
+
+// docBudget returns the paper's sampling budget for a corpus (300 docs for
+// CACM and WSJ88, 500 for TREC123, §4.4), clamped to the scaled corpus
+// size so tiny test suites still terminate.
+func (s *Suite) docBudget(name string, env *Env) int {
+	budget := 300
+	if name == "TREC123" {
+		budget = 500
+	}
+	if n := env.Profile.Docs; budget > n {
+		budget = n
+	}
+	return budget
+}

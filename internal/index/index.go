@@ -1,0 +1,306 @@
+// Package index implements the full-text retrieval substrate: an inverted
+// index with ranked top-N search and document fetch. It plays the role the
+// INQUERY engine played in the paper — the thing each *database* runs, with
+// its own indexing conventions, that the sampler can only reach through
+// "run a query, retrieve documents" (§3).
+//
+// Ranking uses the INQUERY belief function (0.4 + 0.6·T·I) by default, with
+// Okapi BM25 as an alternative, so the ranked-result bias that query-based
+// sampling must overcome is realistic.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/langmodel"
+)
+
+// Scoring selects the document-ranking function.
+type Scoring int
+
+const (
+	// InQuery is the belief function used by the paper's retrieval engine:
+	// 0.4 + 0.6 · T · I with T = tf/(tf + 0.5 + 1.5·dl/avgdl) and
+	// I = log((N + 0.5)/df) / log(N + 1).
+	InQuery Scoring = iota
+	// BM25 is Okapi BM25 with k1 = 1.2, b = 0.75.
+	BM25
+)
+
+func (s Scoring) String() string {
+	switch s {
+	case InQuery:
+		return "inquery"
+	case BM25:
+		return "bm25"
+	}
+	return "unknown"
+}
+
+// posting records one document's term frequency for a term.
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+// Index is an inverted index over a set of documents. Build it with Add or
+// Build; after that it is safe for concurrent readers. It is not safe to
+// Add concurrently with reads.
+type Index struct {
+	analyzer analysis.Analyzer
+	scoring  Scoring
+	docs     []corpus.Document
+	postings map[string][]posting
+	ctf      map[string]int64
+	docLens  []int32
+	totalLen int64
+}
+
+// New returns an empty index that analyzes documents with an and ranks
+// results with the given scoring function.
+func New(an analysis.Analyzer, scoring Scoring) *Index {
+	return &Index{
+		analyzer: an,
+		scoring:  scoring,
+		postings: make(map[string][]posting),
+		ctf:      make(map[string]int64),
+	}
+}
+
+// Build indexes all documents with the given analyzer.
+func Build(docs []corpus.Document, an analysis.Analyzer, scoring Scoring) *Index {
+	ix := New(an, scoring)
+	for _, d := range docs {
+		ix.Add(d)
+	}
+	return ix
+}
+
+// Add indexes one document. Internal document ids are assigned sequentially
+// in insertion order and are the ids Search returns and Fetch accepts.
+func (ix *Index) Add(doc corpus.Document) {
+	id := int32(len(ix.docs))
+	ix.docs = append(ix.docs, doc)
+	tokens := ix.analyzer.Tokens(doc.Text)
+	tf := make(map[string]int32, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+		ix.ctf[t]++
+	}
+	for t, n := range tf {
+		ix.postings[t] = append(ix.postings[t], posting{doc: id, tf: n})
+	}
+	ix.docLens = append(ix.docLens, int32(len(tokens)))
+	ix.totalLen += int64(len(tokens))
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.docs) }
+
+// VocabSize returns the number of distinct index terms.
+func (ix *Index) VocabSize() int { return len(ix.postings) }
+
+// TotalTerms returns the total number of term occurrences indexed.
+func (ix *Index) TotalTerms() int64 { return ix.totalLen }
+
+// DF returns the document frequency of an index term (0 if absent). The
+// term must already be in the index's own vocabulary (i.e. analyzed).
+func (ix *Index) DF(term string) int { return len(ix.postings[term]) }
+
+// CTF returns the collection term frequency of an index term.
+func (ix *Index) CTF(term string) int64 { return ix.ctf[term] }
+
+// Analyzer returns the indexing pipeline, so experiments can normalize
+// learned vocabularies to this database's conventions (§4.1).
+func (ix *Index) Analyzer() analysis.Analyzer { return ix.analyzer }
+
+// Hit is one ranked search result.
+type Hit struct {
+	Doc   int
+	Score float64
+}
+
+// Search runs a free-text query and returns the ids of the top n documents
+// by score, best first. It implements core.Database. A query whose terms
+// are all unknown returns no hits — exactly the "failed query" case that
+// inflates Table 3's query counts.
+func (ix *Index) Search(query string, n int) ([]int, error) {
+	hits, err := ix.SearchScored(query, n)
+	if err != nil || len(hits) == 0 {
+		return nil, err
+	}
+	ids := make([]int, len(hits))
+	for i, h := range hits {
+		ids[i] = h.Doc
+	}
+	return ids, nil
+}
+
+// SearchScored is Search with the ranking scores included. Ties break by
+// ascending document id so results are deterministic.
+func (ix *Index) SearchScored(query string, n int) ([]Hit, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	terms := ix.analyzer.Tokens(query)
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	scores := make(map[int32]float64)
+	avgdl := ix.avgDocLen()
+	for _, t := range terms {
+		plist, ok := ix.postings[t]
+		if !ok {
+			continue
+		}
+		df := len(plist)
+		for _, p := range plist {
+			scores[p.doc] += ix.termScore(float64(p.tf), float64(ix.docLens[p.doc]), df, avgdl)
+		}
+	}
+	if len(scores) == 0 {
+		return nil, nil
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{Doc: int(doc), Score: s})
+	}
+	if n < len(hits)/4 {
+		// Selecting a few of many: a bounded min-heap beats sorting the
+		// whole candidate set (O(H log n) vs O(H log H)). Frequent query
+		// terms match tens of thousands of documents while the sampler
+		// wants the top 4.
+		return topN(hits, n), nil
+	}
+	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
+	if n < len(hits) {
+		hits = hits[:n]
+	}
+	return hits, nil
+}
+
+// betterHit orders hits best-first: higher score, ties by ascending doc.
+func betterHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
+// topN selects the n best hits with a bounded min-heap (the worst kept
+// hit sits at the root), then sorts just those n. Ordering is identical
+// to a full sort.
+func topN(hits []Hit, n int) []Hit {
+	heap := make([]Hit, 0, n)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(heap) && betterHit(heap[worst], heap[l]) {
+				worst = l
+			}
+			if r < len(heap) && betterHit(heap[worst], heap[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	for _, h := range hits {
+		if len(heap) < n {
+			heap = append(heap, h)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !betterHit(heap[parent], heap[i]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if betterHit(h, heap[0]) {
+			heap[0] = h
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return betterHit(heap[i], heap[j]) })
+	return heap
+}
+
+func (ix *Index) avgDocLen() float64 {
+	if len(ix.docs) == 0 {
+		return 0
+	}
+	return float64(ix.totalLen) / float64(len(ix.docs))
+}
+
+func (ix *Index) termScore(tf, dl float64, df int, avgdl float64) float64 {
+	n := float64(len(ix.docs))
+	switch ix.scoring {
+	case BM25:
+		const k1, b = 1.2, 0.75
+		idf := logf((n - float64(df) + 0.5) / (float64(df) + 0.5))
+		if idf < 0 {
+			idf = 0
+		}
+		denom := tf + k1*(1-b+b*dl/avgdl)
+		return idf * tf * (k1 + 1) / denom
+	default: // InQuery
+		t := tf / (tf + 0.5 + 1.5*dl/avgdl)
+		i := logf((n+0.5)/float64(df)) / logf(n+1)
+		return 0.4 + 0.6*t*i
+	}
+}
+
+func logf(x float64) float64 { return math.Log(x) }
+
+// TotalHits returns the number of documents matching the query (documents
+// containing at least one query term). Real search services report this
+// figure alongside their top results; the sample–resample size estimator
+// (sizeest package) depends on it.
+func (ix *Index) TotalHits(query string) (int, error) {
+	terms := ix.analyzer.Tokens(query)
+	if len(terms) == 0 {
+		return 0, nil
+	}
+	if len(terms) == 1 {
+		return len(ix.postings[terms[0]]), nil
+	}
+	docs := make(map[int32]struct{})
+	for _, t := range terms {
+		for _, p := range ix.postings[t] {
+			docs[p.doc] = struct{}{}
+		}
+	}
+	return len(docs), nil
+}
+
+// Fetch returns the document with the given internal id.
+func (ix *Index) Fetch(id int) (corpus.Document, error) {
+	if id < 0 || id >= len(ix.docs) {
+		return corpus.Document{}, fmt.Errorf("index: no document with id %d", id)
+	}
+	return ix.docs[id], nil
+}
+
+// LanguageModel builds the *actual* language model of this database: df and
+// ctf for every index term, under the database's own analyzer. This is what
+// a fully cooperative provider would export, and the ground truth the
+// experiments compare learned models against.
+func (ix *Index) LanguageModel() *langmodel.Model {
+	m := langmodel.New()
+	for t, plist := range ix.postings {
+		m.AddTerm(t, langmodel.TermStats{DF: len(plist), CTF: ix.ctf[t]})
+	}
+	m.SetDocs(len(ix.docs))
+	return m
+}

@@ -1,0 +1,349 @@
+package index
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/langmodel"
+)
+
+func doc(id int, text string) corpus.Document {
+	return corpus.Document{ID: id, Text: text}
+}
+
+func buildTest(texts ...string) *Index {
+	ix := New(analysis.Raw(), InQuery)
+	for i, t := range texts {
+		ix.Add(doc(i, t))
+	}
+	return ix
+}
+
+func TestAddAndStats(t *testing.T) {
+	ix := buildTest("apple apple bear", "apple cat")
+	if ix.NumDocs() != 2 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.VocabSize() != 3 {
+		t.Errorf("VocabSize = %d", ix.VocabSize())
+	}
+	if ix.TotalTerms() != 5 {
+		t.Errorf("TotalTerms = %d", ix.TotalTerms())
+	}
+	if ix.DF("apple") != 2 || ix.CTF("apple") != 3 {
+		t.Errorf("apple df=%d ctf=%d", ix.DF("apple"), ix.CTF("apple"))
+	}
+	if ix.DF("zzz") != 0 {
+		t.Errorf("df of unknown term = %d", ix.DF("zzz"))
+	}
+}
+
+func TestSearchRanksByRelevance(t *testing.T) {
+	// Doc 0 mentions apple three times in four tokens; doc 1 once in four.
+	ix := buildTest("apple apple apple pie", "apple banana cherry date", "no fruit here at all")
+	hits, err := ix.SearchScored("apple", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	if hits[0].Doc != 0 || hits[1].Doc != 1 {
+		t.Errorf("ranking wrong: %+v", hits)
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Errorf("scores not descending: %+v", hits)
+	}
+	ids, err := ix.Search("apple", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != hits[0].Doc || ids[1] != hits[1].Doc {
+		t.Errorf("Search ids %v disagree with SearchScored %+v", ids, hits)
+	}
+}
+
+func TestSearchTopN(t *testing.T) {
+	ix := buildTest("x a", "x b", "x c", "x d", "x e")
+	hits, err := ix.Search("x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		t.Errorf("got %d hits, want 3", len(hits))
+	}
+}
+
+func TestSearchUnknownTermFails(t *testing.T) {
+	// The failed-query path that Table 3 counts.
+	ix := buildTest("alpha beta")
+	hits, err := ix.Search("nonexistent", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("unknown term returned %d hits", len(hits))
+	}
+}
+
+func TestSearchEmptyAndZeroN(t *testing.T) {
+	ix := buildTest("alpha beta")
+	if hits, _ := ix.Search("", 5); len(hits) != 0 {
+		t.Error("empty query returned hits")
+	}
+	if hits, _ := ix.Search("alpha", 0); len(hits) != 0 {
+		t.Error("n=0 returned hits")
+	}
+	if hits, _ := ix.Search("alpha", -1); len(hits) != 0 {
+		t.Error("negative n returned hits")
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	// Identical docs score identically; ties must break by doc id.
+	ix := buildTest("same text here", "same text here", "same text here")
+	for trial := 0; trial < 5; trial++ {
+		ids, err := ix.Search("same", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if id != i {
+				t.Fatalf("trial %d: hit order %v", trial, ids)
+			}
+		}
+	}
+}
+
+func TestSearchMultiTermQuery(t *testing.T) {
+	ix := buildTest("white house politics", "white snow", "house music")
+	ids, err := ix.Search("white house", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d hits, want 3", len(ids))
+	}
+	if ids[0] != 0 {
+		t.Errorf("doc with both terms should rank first: %v", ids)
+	}
+}
+
+func TestSearchUsesAnalyzer(t *testing.T) {
+	// With the Database analyzer, queries stem and stopwords vanish.
+	ix := Build([]corpus.Document{doc(0, "running dogs")}, analysis.Database(), InQuery)
+	hits, err := ix.Search("runs", 5) // stems to "run", matches "running"->"run"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("stemmed query got %d hits, want 1", len(hits))
+	}
+	hits, _ = ix.Search("the", 5) // stopword-only query
+	if len(hits) != 0 {
+		t.Errorf("stopword query got %d hits", len(hits))
+	}
+}
+
+func TestFetch(t *testing.T) {
+	ix := buildTest("first", "second")
+	d, err := ix.Fetch(1)
+	if err != nil || d.Text != "second" {
+		t.Errorf("Fetch(1) = %+v, %v", d, err)
+	}
+	if _, err := ix.Fetch(2); err == nil {
+		t.Error("Fetch out of range did not error")
+	}
+	if _, err := ix.Fetch(-1); err == nil {
+		t.Error("Fetch(-1) did not error")
+	}
+}
+
+func TestLanguageModelMatchesIndex(t *testing.T) {
+	ix := buildTest("apple apple bear", "apple cat")
+	lm := ix.LanguageModel()
+	if lm.Docs() != 2 || lm.VocabSize() != 3 {
+		t.Errorf("LM shape wrong: %v", lm)
+	}
+	if lm.DF("apple") != 2 || lm.CTF("apple") != 3 {
+		t.Errorf("LM apple stats wrong")
+	}
+	if lm.TotalCTF() != ix.TotalTerms() {
+		t.Errorf("LM totalCTF %d != index total %d", lm.TotalCTF(), ix.TotalTerms())
+	}
+}
+
+func TestInQueryScoreBounds(t *testing.T) {
+	// Single-term InQuery beliefs lie in (0.4, 1.0).
+	ix := buildTest("apple apple apple", "apple pie", "banana")
+	hits, err := ix.SearchScored("apple", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Score <= 0.4 || h.Score >= 1.0 {
+			t.Errorf("InQuery belief %f outside (0.4, 1.0)", h.Score)
+		}
+	}
+}
+
+func TestBM25RankingAgreesOnExtremes(t *testing.T) {
+	ix := Build([]corpus.Document{
+		doc(0, "apple apple apple pie"),
+		doc(1, "apple banana cherry date"),
+	}, analysis.Raw(), BM25)
+	hits, err := ix.SearchScored("apple", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0].Doc != 0 {
+		t.Errorf("BM25 ranking wrong: %+v", hits)
+	}
+	for _, h := range hits {
+		if h.Score < 0 {
+			t.Errorf("BM25 score negative: %f", h.Score)
+		}
+	}
+}
+
+func TestSearchHitsWithinBounds(t *testing.T) {
+	ix := buildTest("a b c", "b c d", "c d e", "d e f")
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		ids, err := ix.Search("c", n)
+		if err != nil {
+			return false
+		}
+		if len(ids) > n {
+			return false
+		}
+		for _, id := range ids {
+			if id < 0 || id >= ix.NumDocs() {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalHits(t *testing.T) {
+	ix := buildTest("apple pie", "apple tart", "banana split", "cherry pie")
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"apple", 2},
+		{"pie", 2},
+		{"apple pie", 3}, // union: docs 0, 1, 3
+		{"zzz", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		got, err := ix.TotalHits(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("TotalHits(%q) = %d, want %d", c.query, got, c.want)
+		}
+	}
+}
+
+func TestTopNMatchesFullSort(t *testing.T) {
+	// The heap path must produce exactly the full-sort ordering,
+	// including tie-breaks.
+	if err := quick.Check(func(raw [40]uint8, nRaw uint8) bool {
+		hits := make([]Hit, len(raw))
+		for i, v := range raw {
+			hits[i] = Hit{Doc: i, Score: float64(v % 8)} // force score ties
+		}
+		n := int(nRaw%12) + 1
+		got := topN(append([]Hit(nil), hits...), n)
+
+		want := append([]Hit(nil), hits...)
+		sort.Slice(want, func(i, j int) bool { return betterHit(want[i], want[j]) })
+		if n < len(want) {
+			want = want[:n]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchLargeResultSetUsesHeapPath(t *testing.T) {
+	// >4n candidates triggers the heap path; results must stay correct.
+	docs := make([]corpus.Document, 200)
+	for i := range docs {
+		reps := i%7 + 1
+		text := ""
+		for r := 0; r < reps; r++ {
+			text += "common "
+		}
+		docs[i] = corpus.Document{ID: i, Text: text + "filler"}
+	}
+	ix := Build(docs, analysis.Raw(), InQuery)
+	top, err := ix.SearchScored("common", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("got %d hits", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if betterHit(top[i], top[i-1]) {
+			t.Fatalf("hits out of order: %+v", top)
+		}
+	}
+	// Highest-tf docs (i%7 == 6) must dominate the top.
+	if top[0].Doc%7 != 6 {
+		t.Errorf("top hit %+v is not a max-tf document", top[0])
+	}
+}
+
+func TestScoringString(t *testing.T) {
+	if InQuery.String() != "inquery" || BM25.String() != "bm25" {
+		t.Error("Scoring.String wrong")
+	}
+	if Scoring(99).String() != "unknown" {
+		t.Error("unknown scoring String wrong")
+	}
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	docs := corpus.Scaled(corpus.CACM(), 0.05).MustGenerate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := New(analysis.Database(), InQuery)
+		for _, d := range docs {
+			ix.Add(d)
+		}
+	}
+}
+
+func BenchmarkSearchOneTerm(b *testing.B) {
+	docs := corpus.Scaled(corpus.CACM(), 0.2).MustGenerate()
+	ix := Build(docs, analysis.Database(), InQuery)
+	lm := ix.LanguageModel()
+	terms := lm.TopTerms(langmodel.ByDF, 100) // frequent terms: worst-case posting lists
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(terms[i%len(terms)], 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

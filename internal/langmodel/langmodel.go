@@ -1,0 +1,176 @@
+// Package langmodel implements the language models at the heart of the
+// paper: for each index term, the number of documents containing it
+// (document frequency, df) and its total number of occurrences (collection
+// term frequency, ctf), plus the corpus-level counts database selection
+// algorithms need (§2.1, §4.1).
+//
+// The same type serves as the *actual* language model (built from a full
+// database index), the *learned* language model (built incrementally from
+// sampled documents), and the *union of samples* used for query expansion
+// (§8).
+package langmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermStats carries the per-term frequency information of a language model.
+type TermStats struct {
+	// DF is document frequency: the number of documents containing the term.
+	DF int
+	// CTF is collection term frequency: total occurrences of the term.
+	CTF int64
+}
+
+// AvgTF is ctf/df, the average within-document frequency (§5.2, §7).
+func (t TermStats) AvgTF() float64 {
+	if t.DF == 0 {
+		return 0
+	}
+	return float64(t.CTF) / float64(t.DF)
+}
+
+// Model is a language model: a vocabulary with frequency statistics. The
+// zero value is not usable; call New.
+type Model struct {
+	terms    map[string]TermStats
+	order    []string // terms in first-seen order; see TermAt
+	docs     int
+	totalCTF int64
+}
+
+// New returns an empty language model.
+func New() *Model {
+	return &Model{terms: make(map[string]TermStats)}
+}
+
+// AddDocument folds one document's tokens into the model: df increases by
+// one for each distinct term, ctf by each occurrence. This is the update
+// step 4 of the sampling algorithm (§3).
+func (m *Model) AddDocument(tokens []string) {
+	counts := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		counts[t]++
+	}
+	// Iterate the token slice, not the map, so insertion order (and with
+	// it every downstream random draw) is deterministic.
+	done := make(map[string]bool, len(counts))
+	for _, t := range tokens {
+		if done[t] {
+			continue
+		}
+		done[t] = true
+		m.bump(t, 1, int64(counts[t]))
+	}
+	m.totalCTF += int64(len(tokens))
+	m.docs++
+}
+
+// bump merges (df, ctf) deltas for one term, tracking first-seen order.
+func (m *Model) bump(term string, df int, ctf int64) {
+	st, ok := m.terms[term]
+	if !ok {
+		m.order = append(m.order, term)
+	}
+	st.DF += df
+	st.CTF += ctf
+	m.terms[term] = st
+}
+
+// AddTerm merges raw statistics for one term without counting a document.
+// Used when ingesting cooperative (STARTS) exports.
+func (m *Model) AddTerm(term string, st TermStats) {
+	m.bump(term, st.DF, st.CTF)
+	m.totalCTF += st.CTF
+}
+
+// SetDocs records the number of documents the model describes (used when a
+// model is ingested from a cooperative export rather than built from text).
+func (m *Model) SetDocs(n int) { m.docs = n }
+
+// Docs returns the number of documents folded into the model.
+func (m *Model) Docs() int { return m.docs }
+
+// TotalCTF returns the total number of term occurrences in the model.
+func (m *Model) TotalCTF() int64 { return m.totalCTF }
+
+// VocabSize returns the number of distinct terms.
+func (m *Model) VocabSize() int { return len(m.terms) }
+
+// Stats returns the frequency statistics for a term, with ok reporting
+// whether the term is in the vocabulary.
+func (m *Model) Stats(term string) (TermStats, bool) {
+	st, ok := m.terms[term]
+	return st, ok
+}
+
+// DF returns the document frequency of term (0 if absent).
+func (m *Model) DF(term string) int { return m.terms[term].DF }
+
+// CTF returns the collection term frequency of term (0 if absent).
+func (m *Model) CTF(term string) int64 { return m.terms[term].CTF }
+
+// Contains reports whether the term is in the vocabulary.
+func (m *Model) Contains(term string) bool {
+	_, ok := m.terms[term]
+	return ok
+}
+
+// TermAt returns the i-th term in first-seen order, 0 <= i < VocabSize().
+// It gives selectors O(1) uniform random access to the vocabulary without
+// sorting it on every draw.
+func (m *Model) TermAt(i int) string { return m.order[i] }
+
+// Vocabulary returns the terms in sorted order (deterministic for tests and
+// reports).
+func (m *Model) Vocabulary() []string {
+	out := make([]string, 0, len(m.terms))
+	for t := range m.terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for every term in first-seen order until fn returns
+// false.
+func (m *Model) Range(fn func(term string, st TermStats) bool) {
+	for _, t := range m.order {
+		if !fn(t, m.terms[t]) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		terms:    make(map[string]TermStats, len(m.terms)),
+		order:    append([]string(nil), m.order...),
+		docs:     m.docs,
+		totalCTF: m.totalCTF,
+	}
+	for t, st := range m.terms {
+		c.terms[t] = st
+	}
+	return c
+}
+
+// Merge folds other into m (vocabulary union, summed statistics, summed
+// document counts). The union of per-database samples that §8 uses for
+// query expansion is built this way.
+func (m *Model) Merge(other *Model) {
+	for _, t := range other.order {
+		st := other.terms[t]
+		m.bump(t, st.DF, st.CTF)
+	}
+	m.docs += other.docs
+	m.totalCTF += other.totalCTF
+}
+
+// String summarizes the model for logs.
+func (m *Model) String() string {
+	return fmt.Sprintf("langmodel(%d terms, %d docs, %d occurrences)",
+		len(m.terms), m.docs, m.totalCTF)
+}

@@ -1,0 +1,392 @@
+package langmodel
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+)
+
+func docModel(texts ...string) *Model {
+	m := New()
+	for _, t := range texts {
+		m.AddDocument(strings.Fields(t))
+	}
+	return m
+}
+
+func TestAddDocumentCounts(t *testing.T) {
+	m := docModel("apple apple bear", "apple cat")
+	if got := m.DF("apple"); got != 2 {
+		t.Errorf("df(apple) = %d, want 2", got)
+	}
+	if got := m.CTF("apple"); got != 3 {
+		t.Errorf("ctf(apple) = %d, want 3", got)
+	}
+	if got := m.DF("bear"); got != 1 {
+		t.Errorf("df(bear) = %d, want 1", got)
+	}
+	if m.Docs() != 2 {
+		t.Errorf("docs = %d, want 2", m.Docs())
+	}
+	if m.TotalCTF() != 5 {
+		t.Errorf("totalCTF = %d, want 5", m.TotalCTF())
+	}
+	if m.VocabSize() != 3 {
+		t.Errorf("vocab = %d, want 3", m.VocabSize())
+	}
+}
+
+func TestAvgTF(t *testing.T) {
+	st := TermStats{DF: 4, CTF: 10}
+	if got := st.AvgTF(); got != 2.5 {
+		t.Errorf("AvgTF = %f, want 2.5", got)
+	}
+	if got := (TermStats{}).AvgTF(); got != 0 {
+		t.Errorf("AvgTF of zero stats = %f, want 0", got)
+	}
+}
+
+func TestStatsAndContains(t *testing.T) {
+	m := docModel("x y x")
+	if st, ok := m.Stats("x"); !ok || st.DF != 1 || st.CTF != 2 {
+		t.Errorf("Stats(x) = %+v, %v", st, ok)
+	}
+	if _, ok := m.Stats("zzz"); ok {
+		t.Error("Stats(zzz) reported present")
+	}
+	if !m.Contains("y") || m.Contains("zzz") {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestVocabularySorted(t *testing.T) {
+	m := docModel("zebra apple mango")
+	want := []string{"apple", "mango", "zebra"}
+	if got := m.Vocabulary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Vocabulary = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := docModel("a b c")
+	c := m.Clone()
+	c.AddDocument([]string{"a", "d"})
+	if m.DF("a") != 1 || m.Docs() != 1 {
+		t.Error("mutating clone affected original")
+	}
+	if c.DF("a") != 2 || !c.Contains("d") {
+		t.Error("clone did not record update")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := docModel("x x y")
+	b := docModel("y z")
+	a.Merge(b)
+	if a.Docs() != 2 {
+		t.Errorf("docs = %d, want 2", a.Docs())
+	}
+	if a.DF("y") != 2 || a.CTF("x") != 2 || a.DF("z") != 1 {
+		t.Errorf("merge stats wrong: %v", a)
+	}
+	if a.TotalCTF() != 5 {
+		t.Errorf("totalCTF = %d, want 5", a.TotalCTF())
+	}
+}
+
+func TestAddTerm(t *testing.T) {
+	m := New()
+	m.AddTerm("apple", TermStats{DF: 1000, CTF: 2000})
+	m.AddTerm("apple", TermStats{DF: 1, CTF: 5})
+	m.SetDocs(3204)
+	if m.DF("apple") != 1001 || m.CTF("apple") != 2005 || m.Docs() != 3204 {
+		t.Errorf("AddTerm stats wrong: %v", m)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := docModel("a b c d e")
+	n := 0
+	m.Range(func(string, TermStats) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("Range visited %d terms, want 2", n)
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	m := docModel("a a a b b c", "a b", "d d d d")
+	// df: a=2 b=2 c=1 d=1; ctf: a=4 b=3 c=1 d=4; avgtf: a=2 b=1.5 c=1 d=4
+	if got := m.TopTerms(ByDF, 2); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("TopTerms(ByDF) = %v", got)
+	}
+	if got := m.TopTerms(ByCTF, 2); !reflect.DeepEqual(got, []string{"a", "d"}) {
+		t.Errorf("TopTerms(ByCTF) = %v", got)
+	}
+	if got := m.TopTerms(ByAvgTF, 1); !reflect.DeepEqual(got, []string{"d"}) {
+		t.Errorf("TopTerms(ByAvgTF) = %v", got)
+	}
+	if got := m.TopTerms(ByDF, 100); len(got) != 4 {
+		t.Errorf("TopTerms overshoot = %v", got)
+	}
+}
+
+func TestRanksFractional(t *testing.T) {
+	m := docModel("a a b", "a b", "c")
+	// df: a=2, b=2, c=1 -> a and b tie for ranks 1-2 (avg 1.5), c rank 3.
+	r := m.Ranks(ByDF)
+	if r["a"] != 1.5 || r["b"] != 1.5 {
+		t.Errorf("tied ranks = %f, %f, want 1.5", r["a"], r["b"])
+	}
+	if r["c"] != 3 {
+		t.Errorf("rank(c) = %f, want 3", r["c"])
+	}
+}
+
+func TestDenseRanks(t *testing.T) {
+	m := docModel("a a b", "a b", "c")
+	// df: a=2, b=2, c=1 -> dense: a,b share rank 1; c gets rank 2.
+	r := m.DenseRanks(ByDF)
+	if r["a"] != 1 || r["b"] != 1 {
+		t.Errorf("tied dense ranks = %f, %f, want 1", r["a"], r["b"])
+	}
+	if r["c"] != 2 {
+		t.Errorf("dense rank(c) = %f, want 2", r["c"])
+	}
+}
+
+func TestDenseRanksNoTiesMatchesFractional(t *testing.T) {
+	m := New()
+	for i := 0; i < 10; i++ {
+		m.AddTerm(term(i), TermStats{DF: 100 - i, CTF: 1})
+	}
+	dense := m.DenseRanks(ByDF)
+	frac := m.Ranks(ByDF)
+	for t2, v := range dense {
+		if frac[t2] != v {
+			t.Errorf("rank(%s): dense %f != fractional %f without ties", t2, v, frac[t2])
+		}
+	}
+}
+
+func TestRanksSumInvariant(t *testing.T) {
+	// Fractional ranks always sum to n(n+1)/2 regardless of ties.
+	if err := quick.Check(func(seed uint32) bool {
+		m := New()
+		n := int(seed%20) + 1
+		for i := 0; i < n; i++ {
+			m.AddTerm(term(i), TermStats{DF: int(seed>>3)%5 + 1, CTF: int64(i%3 + 1)})
+		}
+		sum := 0.0
+		for _, v := range m.Ranks(ByDF) {
+			sum += v
+		}
+		want := float64(n*(n+1)) / 2
+		return math.Abs(sum-want) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func term(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestNormalizeStopsAndStems(t *testing.T) {
+	m := docModel("the running runs run")
+	n := m.Normalize(analysis.Database())
+	if n.Contains("the") {
+		t.Error("stopword survived Normalize")
+	}
+	// running/runs/run all stem to "run"; stats merge.
+	if n.DF("run") != 3 || n.CTF("run") != 3 {
+		t.Errorf("run stats = df %d ctf %d, want 3, 3", n.DF("run"), n.CTF("run"))
+	}
+	if n.Docs() != m.Docs() {
+		t.Error("Normalize lost doc count")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	a := docModel("x y z")
+	b := docModel("y z w")
+	r := a.Restrict(b)
+	if r.Contains("x") || !r.Contains("y") || !r.Contains("z") {
+		t.Errorf("Restrict vocabulary wrong: %v", r.Vocabulary())
+	}
+	if r.TotalCTF() != 2 {
+		t.Errorf("Restrict totalCTF = %d, want 2", r.TotalCTF())
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m := docModel("a b c", "a b", "a")
+	// df: a=3, b=2, c=1.
+	p := m.Prune(2)
+	if p.Contains("c") {
+		t.Error("df=1 term survived Prune(2)")
+	}
+	if !p.Contains("a") || !p.Contains("b") {
+		t.Error("frequent terms pruned")
+	}
+	if p.Docs() != m.Docs() {
+		t.Error("Prune changed doc count")
+	}
+	if p.TotalCTF() != m.TotalCTF()-m.CTF("c") {
+		t.Errorf("pruned totalCTF = %d", p.TotalCTF())
+	}
+	// Original untouched.
+	if !m.Contains("c") {
+		t.Error("Prune mutated the receiver")
+	}
+	// Prune(1) is identity.
+	if !m.Prune(1).Equal(m) {
+		t.Error("Prune(1) not identity")
+	}
+	// Prune(huge) empties the vocabulary.
+	if m.Prune(100).VocabSize() != 0 {
+		t.Error("Prune(100) left terms")
+	}
+}
+
+func TestFromTokenizedDocs(t *testing.T) {
+	m := FromTokenizedDocs([]string{"The cat", "the dog"}, analysis.Raw())
+	if m.DF("the") != 2 || m.Docs() != 2 {
+		t.Errorf("FromTokenizedDocs stats wrong: %v", m)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	m := docModel("apple apple bear", "cat apple")
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Errorf("round trip mismatch: %v vs %v", m, got)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lm.json")
+	m := docModel("x y", "x")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Error("Save/Load mismatch")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestReadRejectsNegative(t *testing.T) {
+	r := strings.NewReader(`{"docs":1,"terms":{"x":[-1,2]}}`)
+	if _, err := Read(r); err == nil {
+		t.Error("expected error for negative df")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestDumpTSV(t *testing.T) {
+	m := docModel("b a a")
+	var buf bytes.Buffer
+	if err := m.DumpTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a\t1\t2") || !strings.Contains(out, "b\t1\t1") {
+		t.Errorf("unexpected TSV output:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "# docs=1") {
+		t.Errorf("missing header: %q", out)
+	}
+	// Sorted order: a before b.
+	if strings.Index(out, "\na\t") > strings.Index(out, "\nb\t") {
+		t.Error("TSV not sorted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := docModel("x y")
+	b := docModel("x y")
+	if !a.Equal(b) {
+		t.Error("identical models not Equal")
+	}
+	b.AddDocument([]string{"z"})
+	if a.Equal(b) {
+		t.Error("different models Equal")
+	}
+}
+
+func TestSortedStatsOrdered(t *testing.T) {
+	m := docModel("c b a")
+	st := m.sortedStats()
+	if len(st) != 3 || st[0].Term != "a" || st[2].Term != "c" {
+		t.Errorf("sortedStats = %v", st)
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	// Property: after merging, totalCTF equals the sum of per-term CTFs.
+	if err := quick.Check(func(na, nb uint8) bool {
+		a, b := New(), New()
+		for i := 0; i < int(na%10)+1; i++ {
+			a.AddDocument([]string{term(i), term(i + 1)})
+		}
+		for i := 0; i < int(nb%10)+1; i++ {
+			b.AddDocument([]string{term(i + 5)})
+		}
+		a.Merge(b)
+		var sum int64
+		a.Range(func(_ string, st TermStats) bool { sum += st.CTF; return true })
+		return sum == a.TotalCTF()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddDocument(b *testing.B) {
+	tokens := strings.Fields(strings.Repeat("alpha beta gamma delta epsilon ", 40))
+	b.ReportAllocs()
+	m := New()
+	for i := 0; i < b.N; i++ {
+		m.AddDocument(tokens)
+	}
+}
+
+func BenchmarkRanks(b *testing.B) {
+	m := New()
+	for i := 0; i < 5000; i++ {
+		m.AddTerm(term(i), TermStats{DF: i%97 + 1, CTF: int64(i%31 + 1)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Ranks(ByDF)
+	}
+}

@@ -1,0 +1,74 @@
+package langmodel
+
+import "repro/internal/analysis"
+
+// Normalize returns a new model whose terms have been passed through the
+// analyzer: stopped terms are dropped and stemmed variants merged. This is
+// the comparison protocol of §4.1 — learned models are built raw, and
+// stemming/stopping is applied only when comparing against a database's
+// (stemmed, stopped) actual model.
+//
+// Merging variants sums df, which can overcount the true stem df when one
+// document contains several variants of the same stem; the true value is
+// unrecoverable from term-level statistics alone. The bias is small and
+// identical across experiment arms, so comparisons remain valid.
+func (m *Model) Normalize(an analysis.Analyzer) *Model {
+	out := New()
+	out.docs = m.docs
+	for _, t := range m.order {
+		nt, ok := an.Term(t)
+		if !ok {
+			continue
+		}
+		st := m.terms[t]
+		out.bump(nt, st.DF, st.CTF)
+		out.totalCTF += st.CTF
+	}
+	return out
+}
+
+// Restrict returns a copy of m containing only terms present in other's
+// vocabulary. Controlled comparisons in the paper consider "only ... words
+// that appeared in both language models" (§4.1).
+func (m *Model) Restrict(other *Model) *Model {
+	out := New()
+	out.docs = m.docs
+	for _, t := range m.order {
+		if other.Contains(t) {
+			st := m.terms[t]
+			out.bump(t, st.DF, st.CTF)
+			out.totalCTF += st.CTF
+		}
+	}
+	return out
+}
+
+// Prune returns a copy of m without terms whose document frequency is
+// below minDF. About half of a text database's vocabulary occurs exactly
+// once (§4.3.1); a selection service indexing "millions of databases" (§1)
+// can shed that tail with almost no effect on selection accuracy — the
+// ext ablation BenchmarkAblationPruning quantifies the trade.
+// Document counts are preserved; totals shrink by the pruned mass.
+func (m *Model) Prune(minDF int) *Model {
+	out := New()
+	out.docs = m.docs
+	for _, t := range m.order {
+		st := m.terms[t]
+		if st.DF < minDF {
+			continue
+		}
+		out.bump(t, st.DF, st.CTF)
+		out.totalCTF += st.CTF
+	}
+	return out
+}
+
+// FromTokenizedDocs builds a model by running the analyzer over each
+// document text in docs.
+func FromTokenizedDocs(texts []string, an analysis.Analyzer) *Model {
+	m := New()
+	for _, text := range texts {
+		m.AddDocument(an.Tokens(text))
+	}
+	return m
+}

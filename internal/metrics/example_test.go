@@ -1,0 +1,51 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/langmodel"
+	"repro/internal/metrics"
+)
+
+// ExampleCtfRatio reproduces the worked example of §4.3.2: a database of
+// 99 "apple" and 1 "bear"; a learned model containing only "apple" covers
+// 99% of term occurrences.
+func ExampleCtfRatio() {
+	actual := langmodel.New()
+	actual.AddTerm("apple", langmodel.TermStats{DF: 1, CTF: 99})
+	actual.AddTerm("bear", langmodel.TermStats{DF: 1, CTF: 1})
+
+	learned := langmodel.New()
+	learned.AddTerm("apple", langmodel.TermStats{DF: 1, CTF: 3})
+
+	fmt.Printf("%.2f\n", metrics.CtfRatio(learned, actual))
+	// Output:
+	// 0.99
+}
+
+// ExampleRdiff reproduces the worked example of §6: 100 terms with two
+// adjacent terms swapped gives rdiff = 0.0002.
+func ExampleRdiff() {
+	a := langmodel.New()
+	b := langmodel.New()
+	for i := 0; i < 100; i++ {
+		term := fmt.Sprintf("t%02d", i)
+		a.AddTerm(term, langmodel.TermStats{DF: 1000 - i, CTF: 1})
+		b.AddTerm(term, langmodel.TermStats{DF: 1000 - i, CTF: 1})
+	}
+	// Swap the df values (and hence ranks) of the terms at ranks 4 and 5.
+	b2 := langmodel.New()
+	b.Range(func(term string, st langmodel.TermStats) bool {
+		switch term {
+		case "t03":
+			st.DF = 1000 - 4
+		case "t04":
+			st.DF = 1000 - 3
+		}
+		b2.AddTerm(term, st)
+		return true
+	})
+	fmt.Printf("%.4f\n", metrics.Rdiff(a, b2, langmodel.ByDF))
+	// Output:
+	// 0.0002
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/langmodel"
+)
+
+// KendallTau computes Kendall's tau-b (tie-corrected) between the term
+// rankings of the two models over their common vocabulary. It is an
+// extension beyond the paper: a second tie-aware rank statistic to
+// cross-check Spearman-based conclusions. O(n log n) via Knight's
+// algorithm. Returns 1 for fewer than 2 common terms, 0 when either
+// ranking is constant.
+func KendallTau(learned, actual *langmodel.Model, metric langmodel.RankMetric) float64 {
+	x, y := commonRanks(learned, actual, metric, false)
+	return kendallTauB(x, y)
+}
+
+func kendallTauB(x, y []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 1
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by x, breaking ties by y.
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if x[i] != x[j] {
+			return x[i] < x[j]
+		}
+		return y[i] < y[j]
+	})
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, id := range idx {
+		xs[i] = x[id]
+		ys[i] = y[id]
+	}
+
+	n0 := float64(n) * float64(n-1) / 2
+	n1 := tiePairs(xs)          // pairs tied in x
+	n3 := jointTiePairs(xs, ys) // pairs tied in both
+	swaps := float64(mergeCountInversions(append([]float64(nil), ys...)))
+
+	sortedY := append([]float64(nil), ys...)
+	sort.Float64s(sortedY)
+	n2 := tiePairs(sortedY) // pairs tied in y
+
+	denom := math.Sqrt((n0 - n1) * (n0 - n2))
+	if denom == 0 {
+		return 0
+	}
+	// C - D = n0 - n1 - n2 + n3 - 2*D, with D the inversion count of y
+	// among pairs not tied in x (ties in x were sorted by y, so they are
+	// never counted as inversions; joint ties are added back via n3).
+	return (n0 - n1 - n2 + n3 - 2*swaps) / denom
+}
+
+// tiePairs returns Σ t(t-1)/2 over groups of equal adjacent values in a
+// sorted slice.
+func tiePairs(sorted []float64) float64 {
+	var total float64
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		t := float64(j - i)
+		total += t * (t - 1) / 2
+		i = j
+	}
+	return total
+}
+
+// jointTiePairs returns Σ t(t-1)/2 over groups tied in both x and y, where
+// the input is sorted by (x, y).
+func jointTiePairs(xs, ys []float64) float64 {
+	var total float64
+	for i := 0; i < len(xs); {
+		j := i
+		for j < len(xs) && xs[j] == xs[i] && ys[j] == ys[i] {
+			j++
+		}
+		t := float64(j - i)
+		total += t * (t - 1) / 2
+		i = j
+	}
+	return total
+}
+
+// mergeCountInversions counts strict inversions (a[i] > a[j] for i < j)
+// while merge-sorting a in place.
+func mergeCountInversions(a []float64) int64 {
+	if len(a) < 2 {
+		return 0
+	}
+	buf := make([]float64, len(a))
+	return mergeCount(a, buf)
+}
+
+func mergeCount(a, buf []float64) int64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			j++
+			inv += int64(mid - i) // a[i:mid] all exceed a[j]
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:n])
+	return inv
+}

@@ -1,0 +1,158 @@
+// Package metrics implements the paper's evaluation metrics (§4.3):
+//
+//   - Percentage learned — the share of the actual vocabulary present in
+//     the learned vocabulary (§4.3.1).
+//   - Ctf ratio — the share of database term *occurrences* covered by the
+//     learned vocabulary (§4.3.2): Σ_{i∈V'} ctf_i / Σ_{i∈V} ctf_i.
+//   - Spearman rank correlation — agreement of term orderings between
+//     learned and actual models (§4.3.3). The paper's simple formula
+//     (1 - 6Σd²/(n(n²-1))) plus a tie-corrected variant (Pearson on
+//     fractional ranks), because df-ranked vocabularies are massively tied.
+//   - rdiff — the average normalized rank movement between two models
+//     (§6), used for stopping criteria.
+//
+// Kendall's tau-b is included as an extension: another tie-aware rank
+// statistic that cross-checks the Spearman results.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/langmodel"
+)
+
+// PercentageLearned returns |V_learned ∩ V_actual| / |V_actual| in [0, 1].
+// Returns 0 when the actual vocabulary is empty.
+func PercentageLearned(learned, actual *langmodel.Model) float64 {
+	if actual.VocabSize() == 0 {
+		return 0
+	}
+	common := 0
+	learned.Range(func(t string, _ langmodel.TermStats) bool {
+		if actual.Contains(t) {
+			common++
+		}
+		return true
+	})
+	return float64(common) / float64(actual.VocabSize())
+}
+
+// CtfRatio returns the proportion of actual term occurrences covered by the
+// learned vocabulary: Σ ctf_i over learned∩actual divided by Σ ctf_i over
+// actual. A ratio of 0.80 means the learned model contains the words that
+// account for 80% of word occurrences in the database (§4.3.2).
+func CtfRatio(learned, actual *langmodel.Model) float64 {
+	if actual.TotalCTF() == 0 {
+		return 0
+	}
+	var covered int64
+	learned.Range(func(t string, _ langmodel.TermStats) bool {
+		if st, ok := actual.Stats(t); ok {
+			covered += st.CTF
+		}
+		return true
+	})
+	return float64(covered) / float64(actual.TotalCTF())
+}
+
+// commonRanks intersects the two vocabularies and returns, for every common
+// term, its rank within each restricted model under the metric. Ranking
+// after intersection follows §4.3.3: "rank terms by their frequency of
+// occurrence and then compare the rankings of terms that occur in both".
+// With dense=true, tied terms share one integer rank value — the paper's
+// convention ("multiple terms can occupy each rank", §6); otherwise ties
+// get fractional (averaged) ranks, as modern rank statistics require.
+func commonRanks(a, b *langmodel.Model, metric langmodel.RankMetric, dense bool) (ra, rb []float64) {
+	ar := a.Restrict(b)
+	br := b.Restrict(a)
+	var ranksA, ranksB map[string]float64
+	if dense {
+		ranksA = ar.DenseRanks(metric)
+		ranksB = br.DenseRanks(metric)
+	} else {
+		ranksA = ar.Ranks(metric)
+		ranksB = br.Ranks(metric)
+	}
+	ra = make([]float64, 0, len(ranksA))
+	rb = make([]float64, 0, len(ranksA))
+	for _, t := range ar.Vocabulary() {
+		ra = append(ra, ranksA[t])
+		rb = append(rb, ranksB[t])
+	}
+	return ra, rb
+}
+
+// SpearmanSimple computes the paper's formula R = 1 - 6Σd²/(n(n²-1)) over
+// the common vocabulary, with the paper's dense shared ranks (tied terms
+// occupy one rank). With heavy ties this reads higher than the
+// tie-corrected Spearman, which is why the paper's absolute values (e.g.
+// CACM 0.9 at 82 documents) are only reproduced under this convention.
+// Returns 1 for fewer than 2 common terms (identical trivial rankings).
+func SpearmanSimple(learned, actual *langmodel.Model, metric langmodel.RankMetric) float64 {
+	ra, rb := commonRanks(learned, actual, metric, true)
+	n := len(ra)
+	if n < 2 {
+		return 1
+	}
+	var sumD2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		sumD2 += d * d
+	}
+	nf := float64(n)
+	return 1 - 6*sumD2/(nf*(nf*nf-1))
+}
+
+// Spearman computes the tie-corrected Spearman rank correlation
+// coefficient: the Pearson correlation of the fractional ranks over the
+// common vocabulary. Returns 1 for fewer than 2 common terms and 0 when a
+// ranking is constant (all terms tied — correlation undefined).
+func Spearman(learned, actual *langmodel.Model, metric langmodel.RankMetric) float64 {
+	ra, rb := commonRanks(learned, actual, metric, false)
+	return pearson(ra, rb)
+}
+
+// pearson returns the Pearson correlation of x and y.
+func pearson(x, y []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 1
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Rdiff measures the average distance, as a fraction of the number of
+// ranks, that each common term must move to convert one ranking into the
+// other (§6): (1/n²)·Σ|d_i|, with the paper's dense shared ranks
+// ("multiple terms can occupy each rank ... rdiff varies between 0.0 and
+// 1.0"). Small rdiff between successive learned-model snapshots signals
+// convergence. Returns 0 for fewer than 2 common terms.
+func Rdiff(m1, m2 *langmodel.Model, metric langmodel.RankMetric) float64 {
+	ra, rb := commonRanks(m1, m2, metric, true)
+	n := len(ra)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := range ra {
+		sum += math.Abs(ra[i] - rb[i])
+	}
+	return sum / (float64(n) * float64(n))
+}

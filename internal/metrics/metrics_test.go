@@ -1,0 +1,331 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/langmodel"
+)
+
+func model(texts ...string) *langmodel.Model {
+	m := langmodel.New()
+	for _, t := range texts {
+		m.AddDocument(strings.Fields(t))
+	}
+	return m
+}
+
+// modelWithStats builds a model with explicit per-term (df, ctf).
+func modelWithStats(stats map[string][2]int64) *langmodel.Model {
+	m := langmodel.New()
+	for t, s := range stats {
+		m.AddTerm(t, langmodel.TermStats{DF: int(s[0]), CTF: s[1]})
+	}
+	return m
+}
+
+func TestPercentageLearned(t *testing.T) {
+	actual := model("a b c d")
+	learned := model("a b x")
+	got := PercentageLearned(learned, actual)
+	if got != 0.5 { // a, b of {a,b,c,d}
+		t.Errorf("PercentageLearned = %f, want 0.5", got)
+	}
+}
+
+func TestPercentageLearnedEdges(t *testing.T) {
+	empty := langmodel.New()
+	if got := PercentageLearned(empty, empty); got != 0 {
+		t.Errorf("empty/empty = %f, want 0", got)
+	}
+	actual := model("a b")
+	if got := PercentageLearned(empty, actual); got != 0 {
+		t.Errorf("empty learned = %f, want 0", got)
+	}
+	if got := PercentageLearned(actual, actual); got != 1 {
+		t.Errorf("identical = %f, want 1", got)
+	}
+}
+
+func TestCtfRatioPaperExample(t *testing.T) {
+	// §4.3.2: database = 99 occurrences of "apple", 1 of "bear"; learned
+	// contains only "apple" -> ctf ratio = 0.99.
+	actual := modelWithStats(map[string][2]int64{"apple": {1, 99}, "bear": {1, 1}})
+	learned := modelWithStats(map[string][2]int64{"apple": {1, 3}})
+	got := CtfRatio(learned, actual)
+	if math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("CtfRatio = %f, want 0.99", got)
+	}
+}
+
+func TestCtfRatioBounds(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8) bool {
+		actual := modelWithStats(map[string][2]int64{
+			"x": {1, int64(a) + 1}, "y": {1, int64(b) + 1}, "z": {1, int64(c) + 1},
+		})
+		learned := modelWithStats(map[string][2]int64{"x": {1, 1}, "w": {1, 5}})
+		r := CtfRatio(learned, actual)
+		return r >= 0 && r <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtfRatioEmptyActual(t *testing.T) {
+	if got := CtfRatio(model("a"), langmodel.New()); got != 0 {
+		t.Errorf("CtfRatio vs empty = %f, want 0", got)
+	}
+}
+
+func TestCtfRatioMonotoneInVocabulary(t *testing.T) {
+	// Adding learned terms can only increase coverage.
+	actual := modelWithStats(map[string][2]int64{
+		"a": {1, 10}, "b": {1, 20}, "c": {1, 30},
+	})
+	small := modelWithStats(map[string][2]int64{"a": {1, 1}})
+	big := modelWithStats(map[string][2]int64{"a": {1, 1}, "c": {1, 1}})
+	if CtfRatio(small, actual) > CtfRatio(big, actual) {
+		t.Error("ctf ratio decreased when vocabulary grew")
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	// Same df ordering in both models -> coefficient 1.
+	a := modelWithStats(map[string][2]int64{"x": {10, 10}, "y": {5, 5}, "z": {1, 1}})
+	b := modelWithStats(map[string][2]int64{"x": {30, 30}, "y": {20, 20}, "z": {2, 2}})
+	if got := Spearman(a, b, langmodel.ByDF); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman = %f, want 1", got)
+	}
+	if got := SpearmanSimple(a, b, langmodel.ByDF); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SpearmanSimple = %f, want 1", got)
+	}
+}
+
+func TestSpearmanReversed(t *testing.T) {
+	a := modelWithStats(map[string][2]int64{"x": {10, 10}, "y": {5, 5}, "z": {1, 1}})
+	b := modelWithStats(map[string][2]int64{"x": {1, 1}, "y": {5, 5}, "z": {10, 10}})
+	if got := Spearman(a, b, langmodel.ByDF); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Spearman = %f, want -1", got)
+	}
+	if got := SpearmanSimple(a, b, langmodel.ByDF); math.Abs(got+1) > 1e-12 {
+		t.Errorf("SpearmanSimple = %f, want -1", got)
+	}
+}
+
+func TestSpearmanIgnoresNonCommonTerms(t *testing.T) {
+	a := modelWithStats(map[string][2]int64{"x": {10, 10}, "y": {5, 5}, "only-a": {99, 99}})
+	b := modelWithStats(map[string][2]int64{"x": {30, 30}, "y": {20, 20}, "only-b": {1, 1}})
+	if got := Spearman(a, b, langmodel.ByDF); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman with disjoint extras = %f, want 1", got)
+	}
+}
+
+func TestSpearmanConstantRanking(t *testing.T) {
+	// All terms tied in one model: correlation undefined -> 0.
+	a := modelWithStats(map[string][2]int64{"x": {1, 1}, "y": {1, 1}, "z": {1, 1}})
+	b := modelWithStats(map[string][2]int64{"x": {3, 3}, "y": {2, 2}, "z": {1, 1}})
+	if got := Spearman(a, b, langmodel.ByDF); got != 0 {
+		t.Errorf("Spearman with constant ranking = %f, want 0", got)
+	}
+}
+
+func TestSpearmanTinyIntersection(t *testing.T) {
+	a := model("x")
+	b := model("x")
+	if got := Spearman(a, b, langmodel.ByDF); got != 1 {
+		t.Errorf("single common term = %f, want 1", got)
+	}
+	if got := Spearman(model("p"), model("q"), langmodel.ByDF); got != 1 {
+		t.Errorf("no common terms = %f, want 1", got)
+	}
+}
+
+func TestSpearmanBounds(t *testing.T) {
+	if err := quick.Check(func(dfs [6]uint8) bool {
+		a := modelWithStats(map[string][2]int64{
+			"t1": {int64(dfs[0]) + 1, 1}, "t2": {int64(dfs[1]) + 1, 1}, "t3": {int64(dfs[2]) + 1, 1},
+		})
+		b := modelWithStats(map[string][2]int64{
+			"t1": {int64(dfs[3]) + 1, 1}, "t2": {int64(dfs[4]) + 1, 1}, "t3": {int64(dfs[5]) + 1, 1},
+		})
+		s := Spearman(a, b, langmodel.ByDF)
+		ss := SpearmanSimple(a, b, langmodel.ByDF)
+		return s >= -1-1e-9 && s <= 1+1e-9 && ss >= -1-1e-9 && ss <= 1+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRdiffPaperExample(t *testing.T) {
+	// §6: 100 terms, two swap ranks 4 and 5 -> rdiff = (1/100²)·2 = 0.0002.
+	sa := map[string][2]int64{}
+	sb := map[string][2]int64{}
+	for i := 0; i < 100; i++ {
+		term := "t" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		df := int64(1000 - i) // distinct dfs: rank i+1
+		sa[term] = [2]int64{df, df}
+		sb[term] = [2]int64{df, df}
+	}
+	// Swap the terms at ranks 4 and 5 in b (0-based 3 and 4).
+	t4 := "t" + string(rune('a'+3/26)) + string(rune('a'+3%26))
+	t5 := "t" + string(rune('a'+4/26)) + string(rune('a'+4%26))
+	sb[t4], sb[t5] = sb[t5], sb[t4]
+	a, b := modelWithStats(sa), modelWithStats(sb)
+	got := Rdiff(a, b, langmodel.ByDF)
+	if math.Abs(got-0.0002) > 1e-12 {
+		t.Errorf("Rdiff = %g, want 0.0002", got)
+	}
+}
+
+func TestRdiffIdentical(t *testing.T) {
+	a := model("x x y z", "x y")
+	if got := Rdiff(a, a.Clone(), langmodel.ByDF); got != 0 {
+		t.Errorf("Rdiff of identical models = %f, want 0", got)
+	}
+}
+
+func TestRdiffSymmetric(t *testing.T) {
+	a := modelWithStats(map[string][2]int64{"x": {5, 5}, "y": {3, 3}, "z": {1, 1}})
+	b := modelWithStats(map[string][2]int64{"x": {1, 1}, "y": {5, 5}, "z": {3, 3}})
+	if d1, d2 := Rdiff(a, b, langmodel.ByDF), Rdiff(b, a, langmodel.ByDF); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("Rdiff not symmetric: %f vs %f", d1, d2)
+	}
+}
+
+func TestRdiffBounds(t *testing.T) {
+	// With one term per rank, rdiff <= 0.5 (reverse ordering); always >= 0.
+	if err := quick.Check(func(dfs [5]uint8) bool {
+		sa := map[string][2]int64{}
+		sb := map[string][2]int64{}
+		for i := 0; i < 5; i++ {
+			term := string(rune('a' + i))
+			sa[term] = [2]int64{int64(i) + 1, 1}
+			sb[term] = [2]int64{int64(dfs[i]) + 1, 1}
+		}
+		d := Rdiff(modelWithStats(sa), modelWithStats(sb), langmodel.ByDF)
+		return d >= 0 && d <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTauPerfectAndReversed(t *testing.T) {
+	a := modelWithStats(map[string][2]int64{"x": {10, 1}, "y": {5, 1}, "z": {1, 1}})
+	b := modelWithStats(map[string][2]int64{"x": {20, 1}, "y": {9, 1}, "z": {2, 1}})
+	if got := KendallTau(a, b, langmodel.ByDF); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tau = %f, want 1", got)
+	}
+	rev := modelWithStats(map[string][2]int64{"x": {2, 1}, "y": {9, 1}, "z": {20, 1}})
+	if got := KendallTau(a, rev, langmodel.ByDF); math.Abs(got+1) > 1e-12 {
+		t.Errorf("tau = %f, want -1", got)
+	}
+}
+
+func TestKendallTauAgainstBruteForce(t *testing.T) {
+	brute := func(x, y []float64) float64 {
+		n := len(x)
+		var c, d, tx, ty float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx, dy := x[i]-x[j], y[i]-y[j]
+				switch {
+				case dx == 0 && dy == 0:
+					// joint tie: counted in both tx and ty
+					tx++
+					ty++
+				case dx == 0:
+					tx++
+				case dy == 0:
+					ty++
+				case dx*dy > 0:
+					c++
+				default:
+					d++
+				}
+			}
+		}
+		n0 := float64(n*(n-1)) / 2
+		denom := math.Sqrt((n0 - tx) * (n0 - ty))
+		if denom == 0 {
+			return 0
+		}
+		return (c - d) / denom
+	}
+	if err := quick.Check(func(vals [8]uint8) bool {
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		for i := range vals {
+			x[i] = float64(vals[i] % 4) // force ties
+			y[i] = float64((vals[i] >> 2) % 4)
+		}
+		got := kendallTauB(append([]float64(nil), x...), append([]float64(nil), y...))
+		want := brute(x, y)
+		return math.Abs(got-want) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCountInversions(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want int64
+	}{
+		{[]float64{1, 2, 3}, 0},
+		{[]float64{3, 2, 1}, 3},
+		{[]float64{2, 1, 3}, 1},
+		{[]float64{1, 1, 1}, 0}, // ties are not inversions
+		{[]float64{}, 0},
+		{[]float64{5}, 0},
+	}
+	for _, c := range cases {
+		if got := mergeCountInversions(append([]float64(nil), c.in...)); got != c.want {
+			t.Errorf("inversions(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpearmanAgreesWithSimpleWithoutTies(t *testing.T) {
+	// Without ties, the tie-corrected and simple formulas coincide.
+	a := modelWithStats(map[string][2]int64{
+		"p": {9, 1}, "q": {7, 1}, "r": {5, 1}, "s": {3, 1}, "t": {1, 1},
+	})
+	b := modelWithStats(map[string][2]int64{
+		"p": {8, 1}, "q": {9, 1}, "r": {4, 1}, "s": {2, 1}, "t": {1, 1},
+	})
+	s1 := Spearman(a, b, langmodel.ByDF)
+	s2 := SpearmanSimple(a, b, langmodel.ByDF)
+	if math.Abs(s1-s2) > 1e-12 {
+		t.Errorf("tie-free disagreement: %f vs %f", s1, s2)
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	a := langmodel.New()
+	c := langmodel.New()
+	for i := 0; i < 5000; i++ {
+		term := "t" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		a.AddTerm(term, langmodel.TermStats{DF: i%97 + 1, CTF: 1})
+		c.AddTerm(term, langmodel.TermStats{DF: i%89 + 1, CTF: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spearman(a, c, langmodel.ByDF)
+	}
+}
+
+func BenchmarkKendallTau(b *testing.B) {
+	a := langmodel.New()
+	c := langmodel.New()
+	for i := 0; i < 5000; i++ {
+		term := "t" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		a.AddTerm(term, langmodel.TermStats{DF: i%97 + 1, CTF: 1})
+		c.AddTerm(term, langmodel.TermStats{DF: i%89 + 1, CTF: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KendallTau(a, c, langmodel.ByDF)
+	}
+}

@@ -1,0 +1,249 @@
+// Package netsearch exposes any core.Database over TCP and provides a
+// client that is itself a core.Database. It demonstrates the paper's
+// minimal-criterion premise end to end: the selection service can sample a
+// database it does not control, across a process and network boundary,
+// using nothing but the ordinary "run query / fetch document" interface
+// (§3). No language-model export, no shared indexing conventions.
+//
+// The wire protocol is line-delimited JSON: one request object per line,
+// one response object per line, over a single TCP connection. Requests:
+//
+//	{"op":"search","query":"apple","n":4}
+//	{"op":"fetch","id":17}
+//	{"op":"count","query":"apple"}      (optional; total matching docs)
+//
+// Responses carry either a result or an error string:
+//
+//	{"ids":[3,9,17,2]}
+//	{"doc":{"ID":17,"Title":"...","Text":"..."}}
+//	{"error":"no document with id 99"}
+package netsearch
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// request is one wire request.
+type request struct {
+	Op    string `json:"op"`
+	Query string `json:"query,omitempty"`
+	N     int    `json:"n,omitempty"`
+	ID    int    `json:"id,omitempty"`
+}
+
+// response is one wire response.
+type response struct {
+	IDs   []int            `json:"ids,omitempty"`
+	Doc   *corpus.Document `json:"doc,omitempty"`
+	Count *int             `json:"count,omitempty"`
+	Error string           `json:"error,omitempty"`
+}
+
+// hitCounter matches databases that report total hit counts (see
+// sizeest.HitCounter); the server forwards "count" requests to it when
+// available.
+type hitCounter interface {
+	TotalHits(query string) (int, error)
+}
+
+// Server serves a core.Database over TCP.
+type Server struct {
+	db core.Database
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (use "127.0.0.1:0" to pick a free port)
+// and accepts connections until Close.
+func Serve(db core.Database, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsearch: listen: %w", err)
+	}
+	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address, e.g. "127.0.0.1:43671".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections, closes existing ones, and waits for
+// handler goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage; drop the connection
+		}
+		if err := enc.Encode(s.dispatch(req)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Op {
+	case "search":
+		ids, err := s.db.Search(req.Query, req.N)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{IDs: ids}
+	case "fetch":
+		doc, err := s.db.Fetch(req.ID)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Doc: &doc}
+	case "count":
+		hc, ok := s.db.(hitCounter)
+		if !ok {
+			return response{Error: "count unsupported by this database"}
+		}
+		n, err := hc.TotalHits(req.Query)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Count: &n}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a core.Database backed by a remote netsearch server. It is
+// safe for concurrent use; requests on one connection are serialized.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a netsearch server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsearch: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("netsearch: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("netsearch: receive: %w", err)
+	}
+	if resp.Error != "" {
+		return response{}, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Search implements core.Database.
+func (c *Client) Search(query string, n int) ([]int, error) {
+	resp, err := c.roundTrip(request{Op: "search", Query: query, N: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Fetch implements core.Database.
+func (c *Client) Fetch(id int) (corpus.Document, error) {
+	resp, err := c.roundTrip(request{Op: "fetch", ID: id})
+	if err != nil {
+		return corpus.Document{}, err
+	}
+	if resp.Doc == nil {
+		return corpus.Document{}, errors.New("netsearch: fetch returned no document")
+	}
+	return *resp.Doc, nil
+}
+
+// TotalHits asks the remote database for its total hit count for the
+// query. Servers whose database does not support counting return an
+// error. Together with Search and Fetch this makes the Client usable by
+// the sizeest estimators.
+func (c *Client) TotalHits(query string) (int, error) {
+	resp, err := c.roundTrip(request{Op: "count", Query: query})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Count == nil {
+		return 0, errors.New("netsearch: count returned no value")
+	}
+	return *resp.Count, nil
+}
+
+var _ core.Database = (*Client)(nil)

@@ -1,0 +1,59 @@
+// Package phrase extends language models beyond single terms. The paper
+// notes that "more complex language models might include information about
+// phrases or other term co-occurrence information" (§2.1) and that sampled
+// documents make richer models possible because the service holds full
+// text, not just whatever statistics a provider chose to export (§7).
+//
+// A bigram model is represented as an ordinary langmodel.Model whose terms
+// are adjacent-word pairs joined with a space ("white house"), so all the
+// existing metrics (ctf ratio, Spearman, rdiff) apply to phrase models
+// unchanged — and the ext-phrase experiment measures how quickly phrase
+// statistics converge under sampling compared to unigram statistics.
+package phrase
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/langmodel"
+)
+
+// Bigrams converts a token stream into adjacent-pair pseudo-terms. With
+// stop non-nil, pairs containing a stopword are dropped — the classic
+// "phrase" definition of 1990s IR engines (content-word pairs only).
+func Bigrams(tokens []string, stop *analysis.Stoplist) []string {
+	if len(tokens) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-1)
+	for i := 0; i+1 < len(tokens); i++ {
+		a, b := tokens[i], tokens[i+1]
+		if stop.Contains(a) || stop.Contains(b) {
+			continue
+		}
+		out = append(out, a+" "+b)
+	}
+	return out
+}
+
+// Split returns the two words of a bigram pseudo-term.
+func Split(bigram string) (string, string) {
+	a, b, _ := strings.Cut(bigram, " ")
+	return a, b
+}
+
+// ModelFromDocs builds a bigram language model over document texts: each
+// document contributes its adjacent content-word pairs, with df counted
+// per document and ctf per occurrence, mirroring the unigram construction.
+func ModelFromDocs(texts []string, an analysis.Analyzer, stop *analysis.Stoplist) *langmodel.Model {
+	m := langmodel.New()
+	for _, text := range texts {
+		m.AddDocument(Bigrams(an.Tokens(text), stop))
+	}
+	return m
+}
+
+// AddDocument folds one document's bigrams into an existing model.
+func AddDocument(m *langmodel.Model, text string, an analysis.Analyzer, stop *analysis.Stoplist) {
+	m.AddDocument(Bigrams(an.Tokens(text), stop))
+}

@@ -1,0 +1,107 @@
+package phrase
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+)
+
+func TestBigramsBasic(t *testing.T) {
+	got := Bigrams([]string{"white", "house", "press"}, nil)
+	want := []string{"white house", "house press"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Bigrams = %v, want %v", got, want)
+	}
+}
+
+func TestBigramsShortInputs(t *testing.T) {
+	if got := Bigrams(nil, nil); got != nil {
+		t.Errorf("nil tokens -> %v", got)
+	}
+	if got := Bigrams([]string{"solo"}, nil); got != nil {
+		t.Errorf("single token -> %v", got)
+	}
+}
+
+func TestBigramsStopwordFiltering(t *testing.T) {
+	stop := analysis.InqueryStoplist()
+	got := Bigrams([]string{"the", "white", "house", "of", "cards"}, stop)
+	want := []string{"white house"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Bigrams = %v, want %v", got, want)
+	}
+}
+
+func TestBigramsCountProperty(t *testing.T) {
+	// Without a stoplist, n tokens yield exactly n-1 bigrams.
+	if err := quick.Check(func(raw [12]uint8, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		tokens := make([]string, n)
+		for i := range tokens {
+			tokens[i] = string(rune('a' + raw[i%12]%26))
+		}
+		return len(Bigrams(tokens, nil)) == n-1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	a, b := Split("white house")
+	if a != "white" || b != "house" {
+		t.Errorf("Split = %q, %q", a, b)
+	}
+}
+
+func TestModelFromDocs(t *testing.T) {
+	texts := []string{
+		"stock market rally continues",
+		"stock market slump deepens",
+	}
+	m := ModelFromDocs(texts, analysis.Raw(), nil)
+	if m.DF("stock market") != 2 {
+		t.Errorf("df(stock market) = %d, want 2", m.DF("stock market"))
+	}
+	if m.DF("market rally") != 1 {
+		t.Errorf("df(market rally) = %d, want 1", m.DF("market rally"))
+	}
+	if m.Docs() != 2 {
+		t.Errorf("docs = %d", m.Docs())
+	}
+}
+
+func TestAddDocumentIncremental(t *testing.T) {
+	m := ModelFromDocs([]string{"alpha beta gamma"}, analysis.Raw(), nil)
+	AddDocument(m, "alpha beta again", analysis.Raw(), nil)
+	if m.DF("alpha beta") != 2 {
+		t.Errorf("df(alpha beta) = %d, want 2", m.DF("alpha beta"))
+	}
+	if m.Docs() != 2 {
+		t.Errorf("docs = %d", m.Docs())
+	}
+}
+
+func TestBigramVocabularyLargerThanUnigram(t *testing.T) {
+	// A structural property the ext-phrase experiment relies on: phrase
+	// vocabularies are far larger and sparser than unigram vocabularies.
+	// Same ten words in varying orders: unigram vocabulary stays at ten
+	// while bigram vocabulary multiplies.
+	text := "one two three four five six seven eight nine ten " +
+		"two four six eight ten one three five seven nine " +
+		"ten nine eight seven six five four three two one"
+	an := analysis.Raw()
+	tokens := an.Tokens(text)
+	uni := map[string]bool{}
+	for _, t2 := range tokens {
+		uni[t2] = true
+	}
+	bi := map[string]bool{}
+	for _, b := range Bigrams(tokens, nil) {
+		bi[b] = true
+	}
+	if len(bi) <= len(uni) {
+		t.Errorf("bigram vocab %d not larger than unigram %d", len(bi), len(uni))
+	}
+}

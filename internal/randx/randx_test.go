@@ -1,0 +1,208 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSourceDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between independent streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	if err := quick.Check(func(_ int) bool {
+		f := s.Float64()
+		return f >= 0 && f < 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %f, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{0, 1, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(9).Fork(1)
+	b := New(9).Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams collide %d times", same)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %f, want ~1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(4, 0.5); v <= 0 {
+			t.Fatalf("LogNormal returned %f", v)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	s := New(21)
+	z := NewZipf(s, 1.3, 1.0, 999)
+	for i := 0; i < 10000; i++ {
+		v := z.Uint64()
+		if v > 999 {
+			t.Fatalf("Zipf value %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must be sampled far more often than rank 100.
+	s := New(23)
+	z := NewZipf(s, 1.5, 1.0, 9999)
+	counts := make(map[uint64]int)
+	for i := 0; i < 200000; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] < 10*counts[100] {
+		t.Fatalf("distribution not skewed: count(0)=%d count(100)=%d", counts[0], counts[100])
+	}
+	// Monotone-ish decay over well-separated ranks.
+	if counts[0] <= counts[10] || counts[10] <= counts[1000] {
+		t.Fatalf("counts not decaying: c0=%d c10=%d c1000=%d", counts[0], counts[10], counts[1000])
+	}
+}
+
+func TestZipfMatchesTheory(t *testing.T) {
+	// For s=2, v=1: P(0)/P(1) = (2/1)^-(-2) = 4.
+	s := New(29)
+	z := NewZipf(s, 2.0, 1.0, 100000)
+	var c0, c1 int
+	for i := 0; i < 400000; i++ {
+		switch z.Uint64() {
+		case 0:
+			c0++
+		case 1:
+			c1++
+		}
+	}
+	ratio := float64(c0) / float64(c1)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("P(0)/P(1) = %f, want ~4", ratio)
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct{ s, v float64 }{{1.0, 1.0}, {0.5, 1.0}, {2.0, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(s=%f, v=%f) did not panic", tc.s, tc.v)
+				}
+			}()
+			NewZipf(New(1), tc.s, tc.v, 10)
+		}()
+	}
+}
+
+func BenchmarkSourceUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	z := NewZipf(New(1), 1.3, 2.0, 1<<20)
+	for i := 0; i < b.N; i++ {
+		z.Uint64()
+	}
+}

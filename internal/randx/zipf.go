@@ -1,0 +1,70 @@
+package randx
+
+import "math"
+
+// Zipf samples from a (generalized) Zipf–Mandelbrot distribution over
+// {0, 1, ..., imax}: P(k) proportional to ((v + k) ** -s), with s > 1 and
+// v >= 1. It uses Hörmann & Derflinger's rejection-inversion method, the
+// same algorithm used by math/rand.Zipf, re-implemented here so it can run
+// on our deterministic Source (math/rand/v2 dropped Zipf entirely).
+//
+// Word frequencies in text follow a Zipf distribution (the paper leans on
+// this in §3, §4.3 and §5), so Zipf is the backbone of the synthetic corpus
+// generators.
+type Zipf struct {
+	src          *Source
+	imax         float64
+	v            float64
+	q            float64
+	oneminusQ    float64
+	oneminusQinv float64
+	hxm          float64 // h(imax + 0.5)
+	hx0minusHxm  float64
+	s            float64
+}
+
+// NewZipf returns a Zipf sampler. s must be > 1, v >= 1, imax >= 0;
+// otherwise NewZipf panics (the generators always pass validated profiles).
+func NewZipf(src *Source, s float64, v float64, imax uint64) *Zipf {
+	if s <= 1 || v < 1 {
+		panic("randx: NewZipf requires s > 1 and v >= 1")
+	}
+	z := &Zipf{
+		src:          src,
+		imax:         float64(imax),
+		v:            v,
+		q:            s,
+		oneminusQ:    1 - s,
+		oneminusQinv: 1 / (1 - s),
+	}
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1)))
+	return z
+}
+
+// h is the integral of the density: h(x) = (v+x)^(1-q) / (1-q).
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+// hinv is the inverse of h.
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// Uint64 returns a Zipf-distributed value in [0, imax].
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.src.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}

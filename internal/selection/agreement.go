@@ -1,0 +1,89 @@
+package selection
+
+import (
+	"math"
+	"sort"
+)
+
+// RankAgreement compares two database rankings (e.g. one computed from
+// actual language models and one from learned models) and returns the
+// Spearman correlation of database positions. 1 means the sampled models
+// reproduce the selection decision exactly; this quantifies the open
+// question of §5 — "how correlated the rankings need to be for accurate
+// database selection".
+func RankAgreement(a, b []Ranked) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 1
+	}
+	n := len(a)
+	posA := rankPositions(a)
+	posB := rankPositions(b)
+	var mx, my float64
+	for db := range posA {
+		mx += posA[db]
+		my += posB[db]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for db, ra := range posA {
+		dx, dy := ra-mx, posB[db]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// TopKOverlap returns |topK(a) ∩ topK(b)| / k — the share of the databases
+// a user would actually search that is preserved when learned models
+// replace actual ones. Selection systems search "the top n databases"
+// (§2), so this is the operationally meaningful agreement measure.
+func TopKOverlap(a, b []Ranked, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > len(a) {
+		k = len(a)
+	}
+	if k > len(b) {
+		k = len(b)
+	}
+	if k == 0 {
+		return 1
+	}
+	inA := make(map[int]bool, k)
+	for _, r := range a[:k] {
+		inA[r.DB] = true
+	}
+	overlap := 0
+	for _, r := range b[:k] {
+		if inA[r.DB] {
+			overlap++
+		}
+	}
+	return float64(overlap) / float64(k)
+}
+
+// rankPositions maps database id to its fractional position in the
+// ranking, averaging positions across score ties.
+func rankPositions(r []Ranked) map[int]float64 {
+	sorted := append([]Ranked(nil), r...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	pos := make(map[int]float64, len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].Score == sorted[i].Score {
+			j++
+		}
+		avg := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			pos[sorted[k].DB] = avg
+		}
+		i = j
+	}
+	return pos
+}

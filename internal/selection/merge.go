@@ -1,0 +1,91 @@
+package selection
+
+import "sort"
+
+// Result merging: after selection picks databases and each is searched,
+// their per-database result lists must be fused into one ranking. Scores
+// from different engines are not directly comparable, so the standard
+// CORI-style merge weights each document's score by its database's
+// selection score — documents from well-matched databases rise.
+
+// DocScore is one document in a per-database result list.
+type DocScore struct {
+	// Doc is the database-local document id.
+	Doc int
+	// Score is the database's own retrieval score for the document.
+	Score float64
+}
+
+// MergedHit is one row of a fused result list.
+type MergedHit struct {
+	// DB indexes the database the hit came from (position in the
+	// per-database slice handed to MergeWeighted).
+	DB int
+	// Doc is the database-local document id.
+	Doc int
+	// Score is the fused score.
+	Score float64
+}
+
+// MergeWeighted fuses per-database result lists into a single top-k
+// ranking, scaling each document's score by its database's selection
+// score: fused = docScore · (1 + dbScore) / 2 normalized by the maximum
+// database score, the heuristic used by CORI-based federated systems.
+// Ties break by (DB, Doc) for determinism. dbScores must be parallel to
+// results; k <= 0 returns everything.
+func MergeWeighted(results [][]DocScore, dbScores []float64, k int) []MergedHit {
+	if len(results) != len(dbScores) {
+		return nil
+	}
+	maxDB := 0.0
+	for _, s := range dbScores {
+		if s > maxDB {
+			maxDB = s
+		}
+	}
+	var merged []MergedHit
+	for db, list := range results {
+		w := 1.0
+		if maxDB > 0 {
+			w = (1 + dbScores[db]/maxDB) / 2
+		}
+		for _, h := range list {
+			merged = append(merged, MergedHit{DB: db, Doc: h.Doc, Score: h.Score * w})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		if merged[i].DB != merged[j].DB {
+			return merged[i].DB < merged[j].DB
+		}
+		return merged[i].Doc < merged[j].Doc
+	})
+	if k > 0 && k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// MergeRoundRobin fuses result lists by interleaving them in rank order —
+// the score-free baseline merge. Lists are visited in database order;
+// exhausted lists are skipped. k <= 0 returns everything.
+func MergeRoundRobin(results [][]DocScore, k int) []MergedHit {
+	var merged []MergedHit
+	total := 0
+	for _, list := range results {
+		total += len(list)
+	}
+	for pos := 0; len(merged) < total; pos++ {
+		for db, list := range results {
+			if pos < len(list) {
+				merged = append(merged, MergedHit{DB: db, Doc: list[pos].Doc, Score: list[pos].Score})
+			}
+		}
+	}
+	if k > 0 && k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged
+}

@@ -1,0 +1,98 @@
+package selection
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeWeightedPrefersGoodDatabases(t *testing.T) {
+	// Same raw document scores; database 1 has a higher selection score,
+	// so its documents must outrank database 0's.
+	results := [][]DocScore{
+		{{Doc: 10, Score: 0.5}},
+		{{Doc: 20, Score: 0.5}},
+	}
+	merged := MergeWeighted(results, []float64{0.4, 0.8}, 0)
+	if len(merged) != 2 {
+		t.Fatalf("merged %d hits", len(merged))
+	}
+	if merged[0].DB != 1 || merged[0].Doc != 20 {
+		t.Errorf("best hit = %+v, want db 1 doc 20", merged[0])
+	}
+	if merged[0].Score <= merged[1].Score {
+		t.Error("scores not descending")
+	}
+}
+
+func TestMergeWeightedTopK(t *testing.T) {
+	results := [][]DocScore{
+		{{Doc: 1, Score: 0.9}, {Doc: 2, Score: 0.8}},
+		{{Doc: 3, Score: 0.7}},
+	}
+	merged := MergeWeighted(results, []float64{1, 1}, 2)
+	if len(merged) != 2 {
+		t.Errorf("k=2 returned %d", len(merged))
+	}
+}
+
+func TestMergeWeightedDeterministicTies(t *testing.T) {
+	results := [][]DocScore{
+		{{Doc: 5, Score: 0.5}, {Doc: 3, Score: 0.5}},
+		{{Doc: 1, Score: 0.5}},
+	}
+	a := MergeWeighted(results, []float64{1, 1}, 0)
+	b := MergeWeighted(results, []float64{1, 1}, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("tie ordering unstable")
+	}
+	// Ties: db 0 before db 1; doc 3 before doc 5.
+	if a[0].DB != 0 || a[0].Doc != 3 {
+		t.Errorf("tie order: %+v", a)
+	}
+}
+
+func TestMergeWeightedMismatchedInputs(t *testing.T) {
+	if got := MergeWeighted([][]DocScore{{}}, []float64{1, 2}, 0); got != nil {
+		t.Errorf("mismatched inputs returned %v", got)
+	}
+}
+
+func TestMergeWeightedZeroDBScores(t *testing.T) {
+	// All-zero selection scores degrade gracefully to raw-score order.
+	results := [][]DocScore{
+		{{Doc: 1, Score: 0.3}},
+		{{Doc: 2, Score: 0.9}},
+	}
+	merged := MergeWeighted(results, []float64{0, 0}, 0)
+	if merged[0].Doc != 2 {
+		t.Errorf("zero-score merge order wrong: %+v", merged)
+	}
+}
+
+func TestMergeRoundRobinInterleaves(t *testing.T) {
+	results := [][]DocScore{
+		{{Doc: 1}, {Doc: 2}},
+		{{Doc: 10}},
+		{{Doc: 100}, {Doc: 200}, {Doc: 300}},
+	}
+	merged := MergeRoundRobin(results, 0)
+	wantDocs := []int{1, 10, 100, 2, 200, 300}
+	if len(merged) != len(wantDocs) {
+		t.Fatalf("merged %d hits, want %d", len(merged), len(wantDocs))
+	}
+	for i, want := range wantDocs {
+		if merged[i].Doc != want {
+			t.Errorf("position %d: doc %d, want %d", i, merged[i].Doc, want)
+		}
+	}
+}
+
+func TestMergeRoundRobinTopK(t *testing.T) {
+	results := [][]DocScore{{{Doc: 1}, {Doc: 2}}, {{Doc: 3}}}
+	if got := MergeRoundRobin(results, 2); len(got) != 2 {
+		t.Errorf("k=2 returned %d", len(got))
+	}
+	if got := MergeRoundRobin(nil, 5); len(got) != 0 {
+		t.Errorf("empty input returned %d", len(got))
+	}
+}

@@ -1,0 +1,207 @@
+package selection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/langmodel"
+)
+
+// db builds a model with the given doc count and term stats.
+func db(docs int, stats map[string][2]int64) *langmodel.Model {
+	m := langmodel.New()
+	for t, s := range stats {
+		m.AddTerm(t, langmodel.TermStats{DF: int(s[0]), CTF: s[1]})
+	}
+	m.SetDocs(docs)
+	return m
+}
+
+func threeDBs() []*langmodel.Model {
+	return []*langmodel.Model{
+		// db 0: all about apples.
+		db(100, map[string][2]int64{"apple": {80, 300}, "pie": {30, 50}, "stock": {2, 2}}),
+		// db 1: finance.
+		db(100, map[string][2]int64{"stock": {90, 400}, "bond": {70, 200}, "apple": {5, 6}}),
+		// db 2: no relevant terms.
+		db(100, map[string][2]int64{"soccer": {50, 100}, "goal": {40, 80}}),
+	}
+}
+
+func TestCORIRanksTopicallyRelevantDBFirst(t *testing.T) {
+	models := threeDBs()
+	ranked := Rank(CORI{}, []string{"apple", "pie"}, models)
+	if ranked[0].DB != 0 {
+		t.Errorf("apple query ranked db %d first: %+v", ranked[0].DB, ranked)
+	}
+	ranked = Rank(CORI{}, []string{"stock", "bond"}, models)
+	if ranked[0].DB != 1 {
+		t.Errorf("finance query ranked db %d first: %+v", ranked[0].DB, ranked)
+	}
+}
+
+func TestCORIScoresBounded(t *testing.T) {
+	// CORI beliefs are averages of values in [B, 1).
+	models := threeDBs()
+	scores := (CORI{}).Scores([]string{"apple", "stock", "unseen"}, models)
+	for i, s := range scores {
+		if s < 0.39999 || s > 1 {
+			t.Errorf("score[%d] = %f outside [0.4, 1]", i, s)
+		}
+	}
+}
+
+func TestCORIEmptyInputs(t *testing.T) {
+	if got := (CORI{}).Scores(nil, threeDBs()); len(got) != 3 {
+		t.Errorf("nil query scores = %v", got)
+	}
+	if got := (CORI{}).Scores([]string{"x"}, nil); len(got) != 0 {
+		t.Errorf("no dbs scores = %v", got)
+	}
+}
+
+func TestCORIUnknownTermNeutral(t *testing.T) {
+	// A term no database contains adds the same minimum belief everywhere.
+	models := threeDBs()
+	base := (CORI{}).Scores([]string{"apple"}, models)
+	with := (CORI{}).Scores([]string{"apple", "qqqqqq"}, models)
+	// Order must be preserved.
+	for i := range models {
+		for j := range models {
+			if (base[i] > base[j]) != (with[i] > with[j]) && base[i] != base[j] {
+				t.Errorf("unknown term changed order between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGlossSumRanksByCoverage(t *testing.T) {
+	models := threeDBs()
+	ranked := Rank(Gloss{GlossSum}, []string{"apple"}, models)
+	if ranked[0].DB != 0 {
+		t.Errorf("gloss-sum ranked db %d first", ranked[0].DB)
+	}
+	if ranked[2].DB != 2 {
+		t.Errorf("gloss-sum ranked db %d last", ranked[2].DB)
+	}
+}
+
+func TestGlossIndConjunctive(t *testing.T) {
+	// Ind multiplies: a db missing one query term estimates zero matches.
+	models := threeDBs()
+	scores := Gloss{GlossInd}.Scores([]string{"apple", "bond"}, models)
+	if scores[0] != 0 { // db 0 lacks "bond"
+		t.Errorf("db 0 score = %f, want 0", scores[0])
+	}
+	if scores[1] <= 0 { // db 1 has both
+		t.Errorf("db 1 score = %f, want > 0", scores[1])
+	}
+	// db(100): df(apple)=5, df(bond)=70 -> 100·(5/100)·(70/100) = 3.5.
+	if math.Abs(scores[1]-3.5) > 1e-9 {
+		t.Errorf("db 1 score = %f, want 3.5", scores[1])
+	}
+}
+
+func TestGlossEmptyDatabase(t *testing.T) {
+	empty := langmodel.New()
+	scores := Gloss{GlossSum}.Scores([]string{"x"}, []*langmodel.Model{empty})
+	if scores[0] != 0 {
+		t.Errorf("empty db score = %f", scores[0])
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	a := db(10, map[string][2]int64{"x": {5, 5}})
+	models := []*langmodel.Model{a.Clone(), a.Clone(), a.Clone()}
+	for trial := 0; trial < 5; trial++ {
+		ranked := Rank(Gloss{GlossSum}, []string{"x"}, models)
+		for i, r := range ranked {
+			if r.DB != i {
+				t.Fatalf("tie break unstable: %+v", ranked)
+			}
+		}
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	if (CORI{}).Name() != "cori" {
+		t.Error("CORI name")
+	}
+	if (Gloss{GlossSum}).Name() != "gloss-sum" || (Gloss{GlossInd}).Name() != "gloss-ind" {
+		t.Error("Gloss names")
+	}
+}
+
+func TestRankAgreementIdentical(t *testing.T) {
+	r := []Ranked{{DB: 0, Score: 3}, {DB: 1, Score: 2}, {DB: 2, Score: 1}}
+	if got := RankAgreement(r, r); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self agreement = %f", got)
+	}
+}
+
+func TestRankAgreementReversed(t *testing.T) {
+	a := []Ranked{{DB: 0, Score: 3}, {DB: 1, Score: 2}, {DB: 2, Score: 1}}
+	b := []Ranked{{DB: 0, Score: 1}, {DB: 1, Score: 2}, {DB: 2, Score: 3}}
+	if got := RankAgreement(a, b); math.Abs(got+1) > 1e-12 {
+		t.Errorf("reversed agreement = %f, want -1", got)
+	}
+}
+
+func TestRankAgreementDegenerate(t *testing.T) {
+	if got := RankAgreement(nil, nil); got != 1 {
+		t.Errorf("empty agreement = %f", got)
+	}
+	one := []Ranked{{DB: 0, Score: 1}}
+	if got := RankAgreement(one, one); got != 1 {
+		t.Errorf("single-db agreement = %f", got)
+	}
+	// All tied in one ranking -> undefined -> 0.
+	tied := []Ranked{{DB: 0, Score: 1}, {DB: 1, Score: 1}}
+	real := []Ranked{{DB: 0, Score: 2}, {DB: 1, Score: 1}}
+	if got := RankAgreement(tied, real); got != 0 {
+		t.Errorf("tied agreement = %f, want 0", got)
+	}
+}
+
+func TestRankAgreementBounds(t *testing.T) {
+	if err := quick.Check(func(scores [4]uint8) bool {
+		a := make([]Ranked, 4)
+		b := make([]Ranked, 4)
+		for i := 0; i < 4; i++ {
+			a[i] = Ranked{DB: i, Score: float64(i)}
+			b[i] = Ranked{DB: i, Score: float64(scores[i])}
+		}
+		g := RankAgreement(a, b)
+		return g >= -1-1e-9 && g <= 1+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []Ranked{{DB: 0}, {DB: 1}, {DB: 2}, {DB: 3}}
+	b := []Ranked{{DB: 1}, {DB: 0}, {DB: 9}, {DB: 3}}
+	if got := TopKOverlap(a, b, 2); got != 1 {
+		t.Errorf("top-2 overlap = %f, want 1", got)
+	}
+	if got := TopKOverlap(a, b, 3); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("top-3 overlap = %f, want 2/3", got)
+	}
+	if got := TopKOverlap(a, b, 0); got != 1 {
+		t.Errorf("k=0 overlap = %f, want 1", got)
+	}
+	if got := TopKOverlap(a, b, 100); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("k>len overlap = %f, want 0.75", got)
+	}
+}
+
+func TestCORICustomConstants(t *testing.T) {
+	models := threeDBs()
+	// Higher minimum belief compresses the range but keeps the ordering.
+	def := Rank(CORI{}, []string{"apple"}, models)
+	custom := Rank(CORI{B: 0.6, K0: 100, K1: 200}, []string{"apple"}, models)
+	if def[0].DB != custom[0].DB {
+		t.Errorf("constant change flipped winner: %+v vs %+v", def, custom)
+	}
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP API. The handler exposes the service's operations as JSON
+// endpoints, so a selection service can run as a standalone daemon
+// (cmd/selectd):
+//
+//	GET    /databases                      -> []DBStatus
+//	POST   /databases                      {"name":"x","addr":"host:port"}
+//	DELETE /databases/{name}
+//	POST   /databases/{name}/sample        SampleOptions (all optional)
+//	GET    /databases/{name}/summary?metric=avg-tf&k=20
+//	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB
+//	GET    /healthz
+
+// Handler returns the HTTP handler for the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/rank", s.handleRank)
+	mux.HandleFunc("/databases", s.handleDatabases)
+	mux.HandleFunc("/databases/", s.handleDatabase)
+	return mux
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query()
+	k, _ := strconv.Atoi(q.Get("k"))
+	ranked, err := s.Rank(q.Get("q"), q.Get("alg"), k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ranked)
+}
+
+func (s *Service) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Databases())
+	case http.MethodPost:
+		var req struct {
+			Name string `json:"name"`
+			Addr string `json:"addr"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Addr == "" {
+			writeErr(w, http.StatusBadRequest, errors.New("addr is required"))
+			return
+		}
+		if err := s.Register(req.Name, req.Addr); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"registered": req.Name})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET or POST"))
+	}
+}
+
+// handleDatabase routes /databases/{name}[/sample|/summary].
+func (s *Service) handleDatabase(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/databases/")
+	parts := strings.SplitN(rest, "/", 2)
+	name := parts[0]
+	if name == "" {
+		writeErr(w, http.StatusNotFound, errors.New("missing database name"))
+		return
+	}
+	action := ""
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+	switch {
+	case action == "" && r.Method == http.MethodDelete:
+		if err := s.Unregister(name); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	case action == "sample" && r.Method == http.MethodPost:
+		var opts SampleOptions
+		// An empty body means default options.
+		if err := json.NewDecoder(r.Body).Decode(&opts); err != nil && !errors.Is(err, io.EOF) {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := s.Sample(name, opts)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case action == "summary" && r.Method == http.MethodGet:
+		q := r.URL.Query()
+		k, _ := strconv.Atoi(q.Get("k"))
+		rows, err := s.Summary(name, q.Get("metric"), k)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rows)
+	default:
+		writeErr(w, http.StatusNotFound, errors.New("unknown endpoint"))
+	}
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, ErrUnknownDatabase) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadGateway
+}

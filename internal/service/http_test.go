@@ -1,0 +1,207 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+	"repro/internal/netsearch"
+	"repro/internal/summarize"
+)
+
+// httpFixture starts the federation behind netsearch servers and the
+// service behind httptest, exactly the deployment cmd/selectd runs.
+func httpFixture(t *testing.T) (*httptest.Server, []*experiments.FederationDB) {
+	t.Helper()
+	dbs, err := experiments.Federation(3, 200, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(analysis.Database(), nil)
+	t.Cleanup(func() { svc.Close() })
+	for _, db := range dbs {
+		ns, err := netsearch.Serve(db.Index, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ns.Close() })
+		if err := svc.Register(db.Name, ns.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts, dbs
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	ts, _ := httpFixture(t)
+	var health map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, health)
+	}
+}
+
+func TestHTTPListDatabases(t *testing.T) {
+	ts, dbs := httpFixture(t)
+	var statuses []DBStatus
+	getJSON(t, ts.URL+"/databases", &statuses)
+	if len(statuses) != len(dbs) {
+		t.Fatalf("listed %d databases, want %d", len(statuses), len(dbs))
+	}
+}
+
+func TestHTTPSampleRankSummaryFlow(t *testing.T) {
+	ts, dbs := httpFixture(t)
+
+	// Sample every database through the API.
+	for _, db := range dbs {
+		var st DBStatus
+		resp := postJSON(t, fmt.Sprintf("%s/databases/%s/sample", ts.URL, db.Name),
+			SampleOptions{Docs: 50, Seed: 7}, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample %s: status %d", db.Name, resp.StatusCode)
+		}
+		if !st.HasModel || st.SampledDocs == 0 {
+			t.Errorf("sample %s status: %+v", db.Name, st)
+		}
+	}
+
+	// Rank a topical query.
+	terms := experiments.TopicalTerms(dbs[1], dbs, 2)
+	var ranked []RankedDB
+	resp := getJSON(t, ts.URL+"/rank?q="+url.QueryEscape(strings.Join(terms, " "))+"&alg=cori", &ranked)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rank: status %d", resp.StatusCode)
+	}
+	if len(ranked) != len(dbs) || ranked[0].Name != dbs[1].Name {
+		t.Errorf("ranking = %+v, want %s first", ranked, dbs[1].Name)
+	}
+
+	// Summarize.
+	var rows []summarize.Row
+	resp = getJSON(t, fmt.Sprintf("%s/databases/%s/summary?metric=avg-tf&k=5", ts.URL, dbs[0].Name), &rows)
+	if resp.StatusCode != http.StatusOK || len(rows) == 0 {
+		t.Errorf("summary: status %d rows %d", resp.StatusCode, len(rows))
+	}
+}
+
+func TestHTTPSampleEmptyBodyUsesDefaults(t *testing.T) {
+	ts, dbs := httpFixture(t)
+	resp, err := http.Post(fmt.Sprintf("%s/databases/%s/sample", ts.URL, dbs[0].Name), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("empty-body sample: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRegisterAndDelete(t *testing.T) {
+	ts, _ := httpFixture(t)
+	// Register a new (unreachable) database.
+	resp := postJSON(t, ts.URL+"/databases", map[string]string{"name": "newdb", "addr": "127.0.0.1:1"}, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+	// Duplicate registration conflicts.
+	resp = postJSON(t, ts.URL+"/databases", map[string]string{"name": "newdb", "addr": "127.0.0.1:1"}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate register: status %d", resp.StatusCode)
+	}
+	// Missing addr rejected.
+	resp = postJSON(t, ts.URL+"/databases", map[string]string{"name": "x"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("register without addr: status %d", resp.StatusCode)
+	}
+	// Delete it.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/databases/newdb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("delete: status %d", dresp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := httpFixture(t)
+	cases := []struct {
+		method string
+		path   string
+		want   int
+	}{
+		{"GET", "/rank?q=", http.StatusBadRequest},      // empty query
+		{"GET", "/rank?q=apple", http.StatusBadRequest}, // no models yet
+		{"POST", "/databases/ghost/sample", http.StatusNotFound},
+		{"GET", "/databases/ghost/summary", http.StatusNotFound},
+		{"GET", "/databases/ghost/explode", http.StatusNotFound},
+		{"DELETE", "/databases/ghost", http.StatusNotFound},
+		{"PUT", "/databases", http.StatusMethodNotAllowed},
+		{"POST", "/rank", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}

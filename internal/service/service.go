@@ -1,0 +1,457 @@
+// Package service assembles the pieces into the thing the paper is
+// actually about: a *database selection service* (§1). The service keeps a
+// registry of searchable text databases, learns a language model for each
+// by query-based sampling (no cooperation needed — remote databases are
+// reached through netsearch), persists the models, and answers selection
+// queries by ranking the registered databases with CORI or GlOSS.
+//
+// The service applies its own, uniform analysis pipeline to everything it
+// learns — the control over representation that §3 argues is a key
+// advantage of sampling over cooperative model exchange.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/langmodel"
+	"repro/internal/netsearch"
+	"repro/internal/selection"
+	"repro/internal/store"
+	"repro/internal/summarize"
+)
+
+// ErrUnknownDatabase is returned for operations on unregistered names.
+var ErrUnknownDatabase = errors.New("service: unknown database")
+
+// DBStatus describes one registered database.
+type DBStatus struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Addr is the netsearch address for remote databases ("" for local).
+	Addr string `json:"addr,omitempty"`
+	// HasModel reports whether a learned model is available.
+	HasModel bool `json:"has_model"`
+	// Terms, SampledDocs and Queries summarize the learned model and the
+	// cost of acquiring it.
+	Terms       int `json:"terms"`
+	SampledDocs int `json:"sampled_docs"`
+	Queries     int `json:"queries"`
+	// LastError records the most recent sampling failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// SampleOptions parameterize a sampling run for one database.
+type SampleOptions struct {
+	// Docs is the document budget (default 300).
+	Docs int `json:"docs"`
+	// PerQuery is N, documents examined per query (default 4).
+	PerQuery int `json:"per_query"`
+	// Seed makes the run reproducible (default 1).
+	Seed uint64 `json:"seed"`
+	// InitialTerm seeds the first query. If empty, the service uses a
+	// term from its union model, falling back to a built-in common word.
+	InitialTerm string `json:"initial_term"`
+	// Extend continues the previous sampling run instead of starting
+	// over: Docs more documents are added to the existing sample — the
+	// paper's "sampling can be continued" property (§5).
+	Extend bool `json:"extend"`
+}
+
+func (o SampleOptions) withDefaults() SampleOptions {
+	if o.Docs <= 0 {
+		o.Docs = 300
+	}
+	if o.PerQuery <= 0 {
+		o.PerQuery = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// entry is one registered database.
+type entry struct {
+	name    string
+	addr    string
+	db      core.Database // non-nil once connected (or local)
+	model   *langmodel.Model
+	lastRun *core.Result // raw result, kept so Extend can resume
+	stats   DBStatus
+}
+
+// Service is a database selection service. Create it with New; all methods
+// are safe for concurrent use.
+type Service struct {
+	analyzer analysis.Analyzer
+	st       *store.Store // optional persistence
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// New returns a service that normalizes learned models with the given
+// analyzer. st may be nil (no persistence); when non-nil, previously
+// stored models are loaded for databases as they are registered.
+func New(an analysis.Analyzer, st *store.Store) *Service {
+	return &Service{
+		analyzer: an,
+		st:       st,
+		entries:  make(map[string]*entry),
+	}
+}
+
+// Register adds a remote database reachable at a netsearch address. The
+// connection is established lazily on first sampling. If a persisted model
+// exists for the name it is loaded immediately.
+func (s *Service) Register(name, addr string) error {
+	if name == "" {
+		return errors.New("service: empty database name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[name]; dup {
+		return fmt.Errorf("service: database %q already registered", name)
+	}
+	e := &entry{name: name, addr: addr, stats: DBStatus{Name: name, Addr: addr}}
+	s.loadPersisted(e)
+	s.entries[name] = e
+	return nil
+}
+
+// RegisterLocal adds an in-process database (used by tests, examples, and
+// embedded deployments).
+func (s *Service) RegisterLocal(name string, db core.Database) error {
+	if name == "" {
+		return errors.New("service: empty database name")
+	}
+	if db == nil {
+		return errors.New("service: nil database")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[name]; dup {
+		return fmt.Errorf("service: database %q already registered", name)
+	}
+	e := &entry{name: name, db: db, stats: DBStatus{Name: name}}
+	s.loadPersisted(e)
+	s.entries[name] = e
+	return nil
+}
+
+// loadPersisted fills e.model from the store when available. Caller holds mu.
+func (s *Service) loadPersisted(e *entry) {
+	if s.st == nil {
+		return
+	}
+	m, err := s.st.Get(e.name)
+	if err != nil {
+		return // not found or unreadable: sample anew
+	}
+	e.model = m
+	e.stats.HasModel = true
+	e.stats.Terms = m.VocabSize()
+	e.stats.SampledDocs = m.Docs()
+}
+
+// Unregister removes a database and its persisted model.
+func (s *Service) Unregister(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[name]; !ok {
+		return fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
+	}
+	delete(s.entries, name)
+	if s.st != nil {
+		return s.st.Delete(name)
+	}
+	return nil
+}
+
+// Databases returns the status of every registered database, sorted by
+// name.
+func (s *Service) Databases() []DBStatus {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DBStatus, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.stats)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// connect returns the entry's database, dialing remote ones on demand.
+// Caller holds mu.
+func (s *Service) connect(e *entry) (core.Database, error) {
+	if e.db != nil {
+		return e.db, nil
+	}
+	if e.addr == "" {
+		return nil, fmt.Errorf("service: database %q has no address", e.name)
+	}
+	client, err := netsearch.Dial(e.addr)
+	if err != nil {
+		return nil, err
+	}
+	e.db = client
+	return client, nil
+}
+
+// initialModel builds the model the first query term is drawn from: the
+// union of everything the service has already learned, or a tiny built-in
+// model of very common words when nothing is known yet.
+func (s *Service) initialModel() *langmodel.Model {
+	union := langmodel.New()
+	for _, e := range s.entries {
+		if e.model != nil {
+			union.Merge(e.model)
+		}
+	}
+	if union.VocabSize() > 0 {
+		return union
+	}
+	seedWords := []string{
+		"the", "and", "for", "that", "with", "this", "from", "have",
+		"new", "time", "year", "people", "world", "data", "system",
+	}
+	union.AddDocument(seedWords)
+	return union
+}
+
+// Sample learns (or re-learns) the language model for one database. The
+// learned model is normalized to the service's analyzer and persisted when
+// a store is configured.
+func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
+	opts = opts.withDefaults()
+
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	if !ok {
+		s.mu.Unlock()
+		return DBStatus{}, fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
+	}
+	db, err := s.connect(e)
+	if err != nil {
+		e.stats.LastError = err.Error()
+		st := e.stats
+		s.mu.Unlock()
+		return st, fmt.Errorf("service: connect %q: %w", name, err)
+	}
+	initial := s.initialModel()
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	prev := e.lastRun
+	s.mu.Unlock()
+
+	cfg := core.Config{
+		DocsPerQuery: opts.PerQuery,
+		Selector:     core.RandomLLM{},
+		Stop:         core.StopAfterDocs(opts.Docs),
+		Analyzer:     analysis.Raw(),
+		Seed:         opts.Seed,
+	}
+	if opts.InitialTerm != "" {
+		cfg.InitialTerm = opts.InitialTerm
+	} else {
+		cfg.InitialModel = initial
+	}
+	var res *core.Result
+	if opts.Extend && prev != nil {
+		cfg.Stop = core.StopAfterDocs(prev.Docs + opts.Docs)
+		res, err = core.Resume(db, cfg, prev)
+	} else {
+		res, err = core.Sample(db, cfg)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		e.stats.LastError = err.Error()
+		return e.stats, fmt.Errorf("service: sample %q: %w", name, err)
+	}
+	e.model = res.Learned.Normalize(s.analyzer)
+	e.lastRun = res
+	e.stats.HasModel = true
+	e.stats.Terms = e.model.VocabSize()
+	e.stats.SampledDocs = res.Docs
+	e.stats.Queries = res.Queries
+	e.stats.LastError = ""
+	if s.st != nil {
+		if err := s.st.Put(name, e.model); err != nil {
+			e.stats.LastError = err.Error()
+			return e.stats, fmt.Errorf("service: persist %q: %w", name, err)
+		}
+	}
+	return e.stats, nil
+}
+
+// SampleAll samples every registered database concurrently with the same
+// options (seeds are offset per database so runs stay independent) and
+// returns the per-database statuses keyed by name. Databases that fail
+// keep their previous model; the first error is returned after all
+// sampling finishes.
+func (s *Service) SampleAll(opts SampleOptions, parallelism int) (map[string]DBStatus, error) {
+	if parallelism < 1 {
+		parallelism = 4
+	}
+	names := make([]string, 0)
+	s.mu.RLock()
+	for name := range s.entries {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+
+	type outcome struct {
+		name   string
+		status DBStatus
+		err    error
+	}
+	sem := make(chan struct{}, parallelism)
+	results := make(chan outcome, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts.withDefaults()
+			o.Seed += uint64(i) * 7919
+			st, err := s.Sample(name, o)
+			results <- outcome{name: name, status: st, err: err}
+		}(i, name)
+	}
+	wg.Wait()
+	close(results)
+
+	statuses := make(map[string]DBStatus, len(names))
+	var firstErr error
+	for o := range results {
+		statuses[o.name] = o.status
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	return statuses, firstErr
+}
+
+// RankedDB is one row of a selection ranking.
+type RankedDB struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// Rank scores every database with a learned model against the query and
+// returns them best first. algName is "cori" (default), "gloss-sum" or
+// "gloss-ind". Query text is analyzed with the service's pipeline.
+func (s *Service) Rank(query string, algName string, k int) ([]RankedDB, error) {
+	var alg selection.Algorithm
+	switch algName {
+	case "", "cori":
+		alg = selection.CORI{}
+	case "gloss-sum":
+		alg = selection.Gloss{Estimator: selection.GlossSum}
+	case "gloss-ind":
+		alg = selection.Gloss{Estimator: selection.GlossInd}
+	default:
+		return nil, fmt.Errorf("service: unknown algorithm %q", algName)
+	}
+	terms := s.analyzer.Tokens(query)
+	if len(terms) == 0 {
+		return nil, errors.New("service: query has no index terms")
+	}
+
+	s.mu.RLock()
+	names := make([]string, 0, len(s.entries))
+	models := make([]*langmodel.Model, 0, len(s.entries))
+	for _, e := range s.entries {
+		if e.model == nil {
+			continue
+		}
+		names = append(names, e.name)
+		models = append(models, e.model)
+	}
+	s.mu.RUnlock()
+	if len(models) == 0 {
+		return nil, errors.New("service: no databases have learned models yet")
+	}
+	// Deterministic input order.
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return names[idx[i]] < names[idx[j]] })
+	sortedModels := make([]*langmodel.Model, len(idx))
+	sortedNames := make([]string, len(idx))
+	for i, id := range idx {
+		sortedModels[i] = models[id]
+		sortedNames[i] = names[id]
+	}
+
+	ranked := selection.Rank(alg, terms, sortedModels)
+	if k > 0 && k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	out := make([]RankedDB, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedDB{Name: sortedNames[r.DB], Score: r.Score}
+	}
+	return out, nil
+}
+
+// Summary returns the top-k terms of a database's learned model under the
+// given metric ("df", "ctf", or default avg-tf) — the §7 peek-inside view.
+func (s *Service) Summary(name string, metricName string, k int) ([]summarize.Row, error) {
+	var metric langmodel.RankMetric
+	switch metricName {
+	case "df":
+		metric = langmodel.ByDF
+	case "ctf":
+		metric = langmodel.ByCTF
+	case "", "avg-tf", "avgtf":
+		metric = langmodel.ByAvgTF
+	default:
+		return nil, fmt.Errorf("service: unknown metric %q", metricName)
+	}
+	if k <= 0 {
+		k = 20
+	}
+	s.mu.RLock()
+	e, ok := s.entries[name]
+	var m *langmodel.Model
+	if ok && e.model != nil {
+		m = e.model
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("service: database %q has no learned model", name)
+	}
+	return summarize.Top(m, metric, k, analysis.InqueryStoplist()), nil
+}
+
+// Close releases remote connections.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, e := range s.entries {
+		if c, ok := e.db.(*netsearch.Client); ok {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			e.db = nil
+		}
+	}
+	return firstErr
+}

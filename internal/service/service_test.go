@@ -1,0 +1,313 @@
+package service
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/netsearch"
+	"repro/internal/store"
+)
+
+// fixture builds a federation and a service with every database
+// registered locally.
+func fixture(t *testing.T, st *store.Store) (*Service, []*experiments.FederationDB) {
+	t.Helper()
+	dbs, err := experiments.Federation(3, 200, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(analysis.Database(), st)
+	for _, db := range dbs {
+		if err := svc.RegisterLocal(db.Name, db.Index); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return svc, dbs
+}
+
+func TestRegisterAndList(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	statuses := svc.Databases()
+	if len(statuses) != len(dbs) {
+		t.Fatalf("got %d databases, want %d", len(statuses), len(dbs))
+	}
+	for _, st := range statuses {
+		if st.HasModel {
+			t.Errorf("%s has a model before sampling", st.Name)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	svc := New(analysis.Database(), nil)
+	if err := svc.Register("", "addr"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := svc.RegisterLocal("x", nil); err == nil {
+		t.Error("nil database accepted")
+	}
+	if err := svc.Register("dup", "a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("dup", "a:2"); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestSampleAndRank(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	for _, db := range dbs {
+		st, err := svc.Sample(db.Name, SampleOptions{Docs: 60, Seed: 5})
+		if err != nil {
+			t.Fatalf("sample %s: %v", db.Name, err)
+		}
+		if !st.HasModel || st.SampledDocs == 0 || st.Terms == 0 {
+			t.Errorf("%s status after sampling: %+v", db.Name, st)
+		}
+	}
+	// Topical query for db 0 must rank db 0 first.
+	terms := experiments.TopicalTerms(dbs[0], dbs, 4)
+	query := terms[0] + " " + terms[1]
+	ranked, err := svc.Rank(query, "cori", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d databases", len(ranked))
+	}
+	if ranked[0].Name != dbs[0].Name {
+		t.Errorf("query %q ranked %s first, want %s", query, ranked[0].Name, dbs[0].Name)
+	}
+	// k limiting.
+	top1, err := svc.Rank(query, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1) != 1 {
+		t.Errorf("k=1 returned %d rows", len(top1))
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	if _, err := svc.Rank("anything", "cori", 0); err == nil {
+		t.Error("rank before any sampling should fail")
+	}
+	if _, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Rank("query", "bogus-alg", 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := svc.Rank("the and of", "cori", 0); err == nil {
+		t.Error("stopword-only query accepted")
+	}
+}
+
+func TestSampleUnknownDatabase(t *testing.T) {
+	svc, _ := fixture(t, nil)
+	if _, err := svc.Sample("ghost", SampleOptions{}); !errors.Is(err, ErrUnknownDatabase) {
+		t.Errorf("got %v, want ErrUnknownDatabase", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	if _, err := svc.Summary(dbs[0].Name, "avg-tf", 5); err == nil {
+		t.Error("summary before sampling should fail")
+	}
+	if _, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := svc.Summary(dbs[0].Name, "df", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 5 {
+		t.Errorf("summary rows = %d", len(rows))
+	}
+	if _, err := svc.Summary(dbs[0].Name, "bogus", 5); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := svc.Summary("ghost", "df", 5); !errors.Is(err, ErrUnknownDatabase) {
+		t.Errorf("got %v, want ErrUnknownDatabase", err)
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, dbs := fixture(t, st)
+	if _, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 50, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh service over the same store. Registering the same
+	// database name picks up the persisted model without re-sampling.
+	svc2 := New(analysis.Database(), st)
+	if err := svc2.RegisterLocal(dbs[0].Name, dbs[0].Index); err != nil {
+		t.Fatal(err)
+	}
+	statuses := svc2.Databases()
+	if len(statuses) != 1 || !statuses[0].HasModel {
+		t.Fatalf("persisted model not loaded: %+v", statuses)
+	}
+	terms := experiments.TopicalTerms(dbs[0], dbs, 2)
+	if _, err := svc2.Rank(terms[0], "cori", 0); err != nil {
+		t.Errorf("rank with persisted model failed: %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, dbs := fixture(t, st)
+	if _, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Unregister(dbs[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.Databases()) != len(dbs)-1 {
+		t.Error("database still listed after unregister")
+	}
+	// Persisted model deleted too.
+	if _, err := st.Get(dbs[0].Name); !errors.Is(err, store.ErrNotFound) {
+		t.Error("persisted model survived unregister")
+	}
+	if err := svc.Unregister("ghost"); !errors.Is(err, ErrUnknownDatabase) {
+		t.Errorf("got %v, want ErrUnknownDatabase", err)
+	}
+}
+
+func TestSampleRemoteDatabase(t *testing.T) {
+	// A remote database is reached lazily through netsearch.
+	p := corpus.Profile{
+		Name: "remote", Docs: 150, SharedVocabSize: 600, SharedProb: 0.5,
+		Topics:   []corpus.TopicSpec{{Name: "t", VocabSize: 2500, Weight: 1}},
+		DocLenMu: 4.2, DocLenSigma: 0.5, MinDocLen: 12,
+		ZipfS: 1.35, ZipfV: 2, Seed: 8,
+	}
+	ix := index.Build(p.MustGenerate(), analysis.Database(), index.InQuery)
+	srv, err := netsearch.Serve(ix, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	svc := New(analysis.Database(), nil)
+	defer svc.Close()
+	if err := svc.Register("remote-db", srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Sample("remote-db", SampleOptions{Docs: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampledDocs == 0 || !st.HasModel {
+		t.Errorf("remote sampling produced %+v", st)
+	}
+}
+
+func TestSampleConnectFailureRecorded(t *testing.T) {
+	svc := New(analysis.Database(), nil)
+	if err := svc.Register("down", "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Sample("down", SampleOptions{}); err == nil {
+		t.Fatal("sampling an unreachable database succeeded")
+	}
+	statuses := svc.Databases()
+	if statuses[0].LastError == "" {
+		t.Error("connection failure not recorded in status")
+	}
+}
+
+func TestSampleAll(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	statuses, err := svc.SampleAll(SampleOptions{Docs: 40, Seed: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != len(dbs) {
+		t.Fatalf("got %d statuses", len(statuses))
+	}
+	for name, st := range statuses {
+		if !st.HasModel || st.SampledDocs == 0 {
+			t.Errorf("%s not sampled: %+v", name, st)
+		}
+	}
+	// Ranking works immediately afterward.
+	terms := experiments.TopicalTerms(dbs[0], dbs, 2)
+	if _, err := svc.Rank(terms[0]+" "+terms[1], "cori", 0); err != nil {
+		t.Errorf("rank after SampleAll: %v", err)
+	}
+}
+
+func TestSampleAllPartialFailure(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	if err := svc.Register("down", "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	statuses, err := svc.SampleAll(SampleOptions{Docs: 30}, 3)
+	if err == nil {
+		t.Fatal("expected an error from the unreachable database")
+	}
+	// The healthy databases were still sampled.
+	for _, db := range dbs {
+		if st := statuses[db.Name]; !st.HasModel {
+			t.Errorf("%s skipped because another database failed", db.Name)
+		}
+	}
+	if statuses["down"].HasModel {
+		t.Error("unreachable database claims a model")
+	}
+}
+
+func TestSampleExtendGrowsSample(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	first, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 50, Seed: 10, Extend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SampledDocs < first.SampledDocs+40 {
+		t.Errorf("extend grew sample only %d -> %d", first.SampledDocs, second.SampledDocs)
+	}
+	if second.Terms <= first.Terms {
+		t.Errorf("extend did not grow vocabulary: %d -> %d", first.Terms, second.Terms)
+	}
+	// Extend without a previous run falls back to a fresh sample.
+	fresh, err := svc.Sample(dbs[1].Name, SampleOptions{Docs: 40, Extend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.SampledDocs == 0 {
+		t.Error("extend-without-prev sampled nothing")
+	}
+}
+
+func TestInitialModelGrowsWithKnowledge(t *testing.T) {
+	svc, dbs := fixture(t, nil)
+	before := svc.initialModel()
+	if _, err := svc.Sample(dbs[0].Name, SampleOptions{Docs: 40}); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.initialModel()
+	if after.VocabSize() <= before.VocabSize() {
+		t.Errorf("union initial model did not grow: %d -> %d",
+			before.VocabSize(), after.VocabSize())
+	}
+}

@@ -1,0 +1,147 @@
+// Package sizeest estimates the size (document count) of a text database
+// from query-based samples. The paper flags this as the piece of
+// information that "appears difficult to acquire by sampling" (§3) and
+// leaves it open; this package implements the two estimators the follow-on
+// literature settled on:
+//
+//   - Capture–recapture (Lincoln–Petersen with Chapman correction, as in
+//     Liu, Yu & Meng): run two independent sampling passes and infer the
+//     population size from the overlap of captured document ids.
+//   - Sample–resample (Si & Callan, SIGIR 2003): estimate a term's
+//     occurrence probability from the sample, ask the database how many
+//     documents actually match the term (the hit count every real search
+//     service reports), and divide.
+//
+// Both need nothing beyond the ordinary search interface — the same
+// minimal-cooperation premise as the sampler itself.
+package sizeest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/langmodel"
+	"repro/internal/randx"
+)
+
+// HitCounter is the additional capability sample–resample needs: the
+// total number of documents matching a query, a figure real search
+// engines display with their results. internal/index implements it, and
+// internal/netsearch forwards it over the wire.
+type HitCounter interface {
+	TotalHits(query string) (int, error)
+}
+
+// CaptureRecapture estimates population size from two samples of captured
+// document ids using the Chapman-corrected Lincoln–Petersen estimator:
+//
+//	N̂ = (n1+1)(n2+1)/(m+1) − 1
+//
+// where m is the overlap. The samples must be drawn independently (use
+// different sampling seeds). Returns an error when either sample is empty.
+// A zero overlap yields a (biased-low) finite estimate rather than
+// infinity — one reason Chapman's correction is standard.
+func CaptureRecapture(sample1, sample2 []int) (float64, error) {
+	if len(sample1) == 0 || len(sample2) == 0 {
+		return 0, errors.New("sizeest: capture-recapture needs two non-empty samples")
+	}
+	in1 := make(map[int]struct{}, len(sample1))
+	for _, id := range sample1 {
+		in1[id] = struct{}{}
+	}
+	m := 0
+	seen2 := make(map[int]struct{}, len(sample2))
+	for _, id := range sample2 {
+		if _, dup := seen2[id]; dup {
+			continue
+		}
+		seen2[id] = struct{}{}
+		if _, ok := in1[id]; ok {
+			m++
+		}
+	}
+	n1 := float64(len(in1))
+	n2 := float64(len(seen2))
+	return (n1+1)*(n2+1)/(float64(m)+1) - 1, nil
+}
+
+// CaptureRecaptureSample runs two independent query-based sampling passes
+// of docsEach documents against db and applies CaptureRecapture. The two
+// passes use seeds derived from seed; initial terms come from initial.
+func CaptureRecaptureSample(db core.Database, initial *langmodel.Model, docsEach int, seed uint64) (float64, error) {
+	ids := make([][]int, 2)
+	for pass := 0; pass < 2; pass++ {
+		cfg := core.DefaultConfig(initial, docsEach, seed+uint64(pass)*0x9e3779b9+1)
+		cfg.SnapshotEvery = 0
+		res, err := core.Sample(db, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("sizeest: pass %d: %w", pass, err)
+		}
+		ids[pass] = res.DocIDs
+	}
+	return CaptureRecapture(ids[0], ids[1])
+}
+
+// SampleResample estimates database size from a learned model and the
+// database's reported hit counts. For each of probes randomly chosen
+// learned terms t:
+//
+//	N̂_t = hits(t) / p̂(t),  p̂(t) = df_learned(t) / docs_learned
+//
+// and the estimate is the median of the N̂_t (hit counts for rare terms
+// are noisy; the median is robust). The learned model must have been
+// built by sampling db (same vocabulary conventions as db's queries).
+func SampleResample(db HitCounter, learned *langmodel.Model, probes int, seed uint64) (float64, error) {
+	if learned.Docs() == 0 || learned.VocabSize() == 0 {
+		return 0, errors.New("sizeest: learned model is empty")
+	}
+	if probes <= 0 {
+		probes = 10
+	}
+	rng := randx.New(seed)
+	used := make(map[string]bool)
+	var estimates []float64
+	attempts := 0
+	for len(estimates) < probes && attempts < probes*20 {
+		attempts++
+		t := learned.TermAt(rng.Intn(learned.VocabSize()))
+		if used[t] || !core.Eligible(t, used) {
+			continue
+		}
+		used[t] = true
+		hits, err := db.TotalHits(t)
+		if err != nil {
+			return 0, fmt.Errorf("sizeest: hit count for %q: %w", t, err)
+		}
+		df := learned.DF(t)
+		if hits == 0 || df == 0 {
+			continue // term vanished under the db's analyzer; skip
+		}
+		p := float64(df) / float64(learned.Docs())
+		estimates = append(estimates, float64(hits)/p)
+	}
+	if len(estimates) == 0 {
+		return 0, errors.New("sizeest: no usable probe terms")
+	}
+	sort.Float64s(estimates)
+	mid := len(estimates) / 2
+	if len(estimates)%2 == 1 {
+		return estimates[mid], nil
+	}
+	return (estimates[mid-1] + estimates[mid]) / 2, nil
+}
+
+// RelativeError reports |estimate − actual| / actual, the figure the size
+// estimation literature tabulates.
+func RelativeError(estimate float64, actual int) float64 {
+	if actual == 0 {
+		return 0
+	}
+	diff := estimate - float64(actual)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / float64(actual)
+}

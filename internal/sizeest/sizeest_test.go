@@ -1,0 +1,218 @@
+package sizeest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/langmodel"
+)
+
+func TestCaptureRecaptureExact(t *testing.T) {
+	// Classic worked example: n1=100, n2=100, overlap 25
+	// Chapman: 101*101/26 - 1 = 391.3...
+	s1 := make([]int, 100)
+	s2 := make([]int, 100)
+	for i := range s1 {
+		s1[i] = i // 0..99
+	}
+	for i := range s2 {
+		s2[i] = i + 75 // 75..174, overlap 25
+	}
+	got, err := CaptureRecapture(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 101.0*101.0/26.0 - 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate = %f, want %f", got, want)
+	}
+}
+
+func TestCaptureRecaptureDisjoint(t *testing.T) {
+	got, err := CaptureRecapture([]int{1, 2}, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero overlap: Chapman yields (3*3/1)-1 = 8, finite.
+	if got != 8 {
+		t.Errorf("disjoint estimate = %f, want 8", got)
+	}
+}
+
+func TestCaptureRecaptureIdentical(t *testing.T) {
+	s := []int{1, 2, 3, 4, 5}
+	got, err := CaptureRecapture(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full overlap: (6*6/6)-1 = 5 — recovers the true size exactly.
+	if got != 5 {
+		t.Errorf("identical-samples estimate = %f, want 5", got)
+	}
+}
+
+func TestCaptureRecaptureEmpty(t *testing.T) {
+	if _, err := CaptureRecapture(nil, []int{1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := CaptureRecapture([]int{1}, nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestCaptureRecaptureDeduplicates(t *testing.T) {
+	// Duplicate ids within one sample must not inflate n.
+	a, err := CaptureRecapture([]int{1, 1, 1, 2}, []int{2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CaptureRecapture([]int{1, 2}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("duplicates changed the estimate: %f vs %f", a, b)
+	}
+}
+
+func TestCaptureRecapturePositive(t *testing.T) {
+	if err := quick.Check(func(raw1, raw2 [8]uint8) bool {
+		s1 := make([]int, 8)
+		s2 := make([]int, 8)
+		for i := 0; i < 8; i++ {
+			s1[i] = int(raw1[i] % 16)
+			s2[i] = int(raw2[i] % 16)
+		}
+		est, err := CaptureRecapture(s1, s2)
+		return err == nil && est > 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildDB creates a synthetic database for estimator accuracy tests.
+func buildDB(t testing.TB, docs int) (*index.Index, *langmodel.Model) {
+	t.Helper()
+	p := corpus.Profile{
+		Name: "sizetest", Docs: docs, SharedVocabSize: 1500, SharedProb: 0.5,
+		Topics: []corpus.TopicSpec{
+			{Name: "a", VocabSize: 5000, Weight: 1},
+			{Name: "b", VocabSize: 5000, Weight: 1},
+		},
+		DocLenMu: 4.4, DocLenSigma: 0.5, MinDocLen: 15,
+		ZipfS: 1.35, ZipfV: 2, MorphProb: 0.1, Seed: 77,
+	}
+	ix := index.Build(p.MustGenerate(), analysis.Database(), index.InQuery)
+	return ix, ix.LanguageModel()
+}
+
+func TestCaptureRecaptureSampleAccuracy(t *testing.T) {
+	const truth = 1200
+	ix, actual := buildDB(t, truth)
+	est, err := CaptureRecaptureSample(ix, actual, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr := RelativeError(est, truth); relErr > 0.6 {
+		t.Errorf("capture-recapture estimate %f for %d docs (rel err %.2f)", est, truth, relErr)
+	}
+}
+
+func TestSampleResampleAccuracy(t *testing.T) {
+	const truth = 1200
+	ix, actual := buildDB(t, truth)
+	cfg := core.DefaultConfig(actual, 200, 9)
+	cfg.SnapshotEvery = 0
+	res, err := core.Sample(ix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe with the learned model normalized to the db's conventions so
+	// probe terms match the db's query analyzer.
+	learned := res.Learned.Normalize(ix.Analyzer())
+	est, err := SampleResample(ix, learned, 20, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample-resample systematically underestimates: sampled documents are
+	// retrieved *because* they contain query terms, so df_learned/n
+	// overestimates term probabilities (Si & Callan report the same bias).
+	// Accept a generous band; capture-recapture is the precise estimator.
+	if relErr := RelativeError(est, truth); relErr > 0.75 {
+		t.Errorf("sample-resample estimate %f for %d docs (rel err %.2f)", est, truth, relErr)
+	}
+}
+
+func TestSampleResampleValidation(t *testing.T) {
+	ix, _ := buildDB(t, 50)
+	if _, err := SampleResample(ix, langmodel.New(), 5, 1); err == nil {
+		t.Error("empty learned model accepted")
+	}
+}
+
+func TestSampleResampleDefaultProbes(t *testing.T) {
+	ix, actual := buildDB(t, 300)
+	cfg := core.DefaultConfig(actual, 100, 3)
+	cfg.SnapshotEvery = 0
+	res, err := core.Sample(ix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := res.Learned.Normalize(ix.Analyzer())
+	if _, err := SampleResample(ix, learned, 0, 7); err != nil {
+		t.Errorf("default probes failed: %v", err)
+	}
+}
+
+// errCounter fails hit counting.
+type errCounter struct{}
+
+func (errCounter) TotalHits(string) (int, error) {
+	return 0, errTest
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "hit counter down" }
+
+func TestSampleResamplePropagatesError(t *testing.T) {
+	m := langmodel.New()
+	m.AddDocument([]string{"apple", "banana", "cherry"})
+	if _, err := SampleResample(errCounter{}, m, 3, 1); err == nil {
+		t.Error("hit-counter error swallowed")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(110,100) = %f", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(90,100) = %f", got)
+	}
+	if got := RelativeError(5, 0); got != 0 {
+		t.Errorf("RelativeError with zero actual = %f", got)
+	}
+}
+
+func TestEstimatorsDeterministic(t *testing.T) {
+	ix, actual := buildDB(t, 400)
+	a, err := CaptureRecaptureSample(ix, actual, 80, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CaptureRecaptureSample(ix, actual, 80, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("capture-recapture nondeterministic: %f vs %f", a, b)
+	}
+}

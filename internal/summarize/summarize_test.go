@@ -1,0 +1,100 @@
+package summarize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/langmodel"
+)
+
+func testModel() *langmodel.Model {
+	m := langmodel.New()
+	m.AddTerm("the", langmodel.TermStats{DF: 90, CTF: 500})
+	m.AddTerm("windows", langmodel.TermStats{DF: 50, CTF: 400})
+	m.AddTerm("excel", langmodel.TermStats{DF: 20, CTF: 220})
+	m.AddTerm("printer", langmodel.TermStats{DF: 30, CTF: 90})
+	m.AddTerm("ok", langmodel.TermStats{DF: 40, CTF: 40})
+	m.AddTerm("1988", langmodel.TermStats{DF: 25, CTF: 25})
+	m.SetDocs(100)
+	return m
+}
+
+func TestTopFiltersAndRanks(t *testing.T) {
+	rows := Top(testModel(), langmodel.ByAvgTF, 10, analysis.InqueryStoplist())
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (windows, excel, printer): %+v", len(rows), rows)
+	}
+	// avg-tf: excel 11, windows 8, printer 3.
+	if rows[0].Term != "excel" || rows[1].Term != "windows" || rows[2].Term != "printer" {
+		t.Errorf("order wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Term == "the" || r.Term == "ok" || r.Term == "1988" {
+			t.Errorf("filtered term %q present", r.Term)
+		}
+	}
+}
+
+func TestTopRespectsK(t *testing.T) {
+	rows := Top(testModel(), langmodel.ByDF, 1, nil)
+	if len(rows) != 1 {
+		t.Fatalf("k=1 gave %d rows", len(rows))
+	}
+	if rows[0].Term != "the" { // nil stoplist keeps everything eligible
+		t.Errorf("top df term = %q", rows[0].Term)
+	}
+	if rows := Top(testModel(), langmodel.ByDF, 0, nil); rows != nil {
+		t.Errorf("k=0 gave %v", rows)
+	}
+}
+
+func TestTopRowStats(t *testing.T) {
+	rows := Top(testModel(), langmodel.ByAvgTF, 1, analysis.InqueryStoplist())
+	r := rows[0]
+	if r.DF != 20 || r.CTF != 220 || r.AvgTF != 11 {
+		t.Errorf("row stats wrong: %+v", r)
+	}
+}
+
+func TestRenderColumns(t *testing.T) {
+	rows := Top(testModel(), langmodel.ByAvgTF, 3, analysis.InqueryStoplist())
+	var buf bytes.Buffer
+	if err := Render(&buf, rows, langmodel.ByAvgTF); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, term := range []string{"excel", "windows", "printer"} {
+		if !strings.Contains(out, term) {
+			t.Errorf("render missing %q:\n%s", term, out)
+		}
+	}
+	if !strings.Contains(out, "11.00") {
+		t.Errorf("render missing avg-tf value:\n%s", out)
+	}
+}
+
+func TestRenderMetrics(t *testing.T) {
+	rows := []Row{{Term: "x", DF: 7, CTF: 21, AvgTF: 3}}
+	for metric, want := range map[langmodel.RankMetric]string{
+		langmodel.ByDF:    "7.00",
+		langmodel.ByCTF:   "21.00",
+		langmodel.ByAvgTF: "3.00",
+	} {
+		var buf bytes.Buffer
+		if err := Render(&buf, rows, metric); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metric %v: output %q missing %q", metric, buf.String(), want)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, nil, langmodel.ByDF); err != nil {
+		t.Fatal(err)
+	}
+}
