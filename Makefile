@@ -1,0 +1,39 @@
+# Reproduction of "Automatic Discovery of Language Models for Text
+# Databases" (Callan, Connell & Du, SIGMOD 1999).
+#
+# The targets mirror the checks CI and the PR process run: `make test`
+# is the tier-1 gate, `make race` exercises the parallel experiment
+# engine under the race detector, `make bench` records throughput.
+
+GO ?= go
+
+.PHONY: all build test race bench vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The suite caches, worker pool, and copy-on-write snapshots are shared
+# across goroutines; the race detector over internal/... is the gate
+# that keeps them honest.
+race:
+	$(GO) test -race ./internal/...
+
+# Throughput benchmarks: sampler docs/s and queries/s, the parallel
+# sampling fan-out, and the sequential-vs-parallel baseline sweep.
+bench:
+	$(GO) test . -run xxx -bench 'SamplerThroughput|SuiteBaselines' -benchmem
+
+# Every benchmark (regenerates each table/figure once per iteration).
+bench-all:
+	$(GO) test . -run xxx -bench . -benchtime=1x
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/analysis"
@@ -373,24 +374,100 @@ func BenchmarkAblationLearnedAnalyzer(b *testing.B) {
 	}
 }
 
-// BenchmarkSamplerThroughput measures raw sampling speed (documents per
-// second) against an in-process database — the substrate cost floor.
+// BenchmarkSamplerThroughput measures raw sampling speed — documents and
+// queries per second against an in-process database, the substrate cost
+// floor. The snapshotted sub-run keeps the paper's 50-document metric
+// grid, so it prices the copy-on-write Snapshot path too.
 func BenchmarkSamplerThroughput(b *testing.B) {
 	docs := corpus.Scaled(corpus.WSJ88(), 0.1).MustGenerate()
 	ix := index.Build(docs, analysis.Database(), index.InQuery)
 	actual := ix.LanguageModel()
-	b.ResetTimer()
-	total := 0
-	for i := 0; i < b.N; i++ {
-		cfg := core.DefaultConfig(actual, 200, uint64(i+1))
-		cfg.SnapshotEvery = 0
-		res, err := core.Sample(ix, cfg)
-		if err != nil {
-			b.Fatal(err)
+	for _, every := range []int{0, 50} {
+		name := "snapshots=off"
+		if every > 0 {
+			name = "snapshots=" + strconv.Itoa(every)
 		}
-		total += res.Docs
+		b.Run(name, func(b *testing.B) {
+			totalDocs, totalQueries := 0, 0
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(actual, 200, uint64(i+1))
+				cfg.SnapshotEvery = every
+				res, err := core.Sample(ix, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalDocs += res.Docs
+				totalQueries += res.Queries
+			}
+			b.ReportMetric(float64(totalDocs)/b.Elapsed().Seconds(), "docs/s")
+			b.ReportMetric(float64(totalQueries)/b.Elapsed().Seconds(), "queries/s")
+		})
 	}
-	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkSamplerThroughputParallel runs concurrent sampling runs against
+// independent prebuilt databases — the worker-pool workload Baselines and
+// the strategy matrix fan out, without the experiment bookkeeping. Scale
+// GOMAXPROCS (or -cpu) to see how sampling throughput tracks cores.
+func BenchmarkSamplerThroughputParallel(b *testing.B) {
+	profiles := []corpus.Profile{
+		corpus.Scaled(corpus.CACM(), 0.3),
+		corpus.Scaled(corpus.WSJ88(), 0.1),
+		corpus.Scaled(corpus.TREC123(), 0.02),
+	}
+	type db struct {
+		ix     *index.Index
+		actual *langmodel.Model
+	}
+	dbs := make([]db, len(profiles))
+	for i, p := range profiles {
+		ix := index.Build(p.MustGenerate(), analysis.Database(), index.InQuery)
+		dbs[i] = db{ix: ix, actual: ix.LanguageModel()}
+	}
+	var iter, docsDone int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&iter, 1)
+			d := dbs[int(i)%len(dbs)]
+			cfg := core.DefaultConfig(d.actual, 200, uint64(i))
+			cfg.SnapshotEvery = 0
+			res, err := core.Sample(d.ix, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			atomic.AddInt64(&docsDone, int64(res.Docs))
+		}
+	})
+	b.ReportMetric(float64(atomic.LoadInt64(&docsDone))/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkSuiteBaselines times the full three-corpus baseline sweep
+// sequentially and on a 4-worker pool — the headline suite-level speedup
+// of the parallel experiment engine. Both arms produce identical results
+// (TestBaselinesParallelGolden); only wall clock differs, and only when
+// the machine has cores to spare.
+func BenchmarkSuiteBaselines(b *testing.B) {
+	benchSuite(b, 0) // warm the shared corpora outside the sub-benchmark timers
+	for _, workers := range []int{1, 4} {
+		b.Run("parallel="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := benchSuite(b, i)
+				s.Parallel = workers
+				runs, err := s.Baselines()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var docs float64
+					for _, run := range runs {
+						docs += float64(run.Docs)
+					}
+					b.ReportMetric(docs/b.Elapsed().Seconds(), "docs/s")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkExtFederated runs the end-to-end federated retrieval

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-scale f] [-seed n] [-exp list]
+//	experiments [-scale f] [-seed n] [-exp list] [-parallel n]
 //
 // -exp selects experiments by id (comma-separated), from:
 //
@@ -10,7 +10,9 @@
 //	ext-agree ext-adv ext-stop ext-size ext-phrase ext-var ext-fed ext-expand all
 //
 // -scale multiplies corpus sizes (1.0 = DESIGN.md defaults; unit tests use
-// smaller). Everything is deterministic for a given (-scale, -seed) pair.
+// smaller). Everything is deterministic for a given (-scale, -seed) pair:
+// -parallel only changes how many worker goroutines independent sampling
+// runs fan out over, never the numbers (0 = one per CPU, 1 = sequential).
 package main
 
 import (
@@ -29,10 +31,13 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (see doc)")
 	lightInit := flag.Bool("light-init", false,
 		"draw each run's first query term from the sampled corpus's own model instead of TREC123's (faster for partial runs)")
+	par := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	suite := experiments.NewSuite(*scale, *seed)
 	suite.InitialFromTREC = !*lightInit
+	suite.Parallel = *par
+	workers := experiments.WithWorkers(*par)
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -64,13 +69,11 @@ func main() {
 	needBaselines := selected("fig1") || selected("fig2") || selected("fig4")
 	var baselines []*experiments.BaselineRun
 	if needBaselines {
-		for _, name := range experiments.Corpora() {
-			run, err := suite.Baseline(name)
-			if err != nil {
-				fail(err)
-			}
-			baselines = append(baselines, run)
+		runs, err := suite.Baselines()
+		if err != nil {
+			fail(err)
 		}
+		baselines = runs
 	}
 	if selected("fig1") {
 		if err := experiments.WriteFigure1a(out, baselines); err != nil {
@@ -154,7 +157,7 @@ func main() {
 				docsEach = 100
 			}
 		}
-		results, err := experiments.SelectionAgreement(numDBs, docsEach, sizes, 30, *seed)
+		results, err := experiments.SelectionAgreement(numDBs, docsEach, sizes, 30, *seed, workers)
 		if err != nil {
 			fail(err)
 		}
@@ -165,7 +168,7 @@ func main() {
 	}
 
 	if selected("ext-adv") {
-		res, err := experiments.Adversarial(8, 600, 150, *seed)
+		res, err := experiments.Adversarial(8, 600, 150, *seed, workers)
 		if err != nil {
 			fail(err)
 		}
@@ -205,7 +208,7 @@ func main() {
 				docsEach = 100
 			}
 		}
-		res, err := experiments.FederatedRetrieval(numDBs, docsEach, 200, 24, 3, *seed)
+		res, err := experiments.FederatedRetrieval(numDBs, docsEach, 200, 24, 3, *seed, workers)
 		if err != nil {
 			fail(err)
 		}
@@ -216,7 +219,7 @@ func main() {
 	}
 
 	if selected("ext-expand") {
-		res, err := experiments.ExpansionSelection(8, 600, 60, 48, 3, *seed)
+		res, err := experiments.ExpansionSelection(8, 600, 60, 48, 3, *seed, workers)
 		if err != nil {
 			fail(err)
 		}

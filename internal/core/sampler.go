@@ -103,13 +103,15 @@ func (c *Config) validate(resuming bool) error {
 	return nil
 }
 
-// Snapshot is a periodic copy of the learned model during a run.
+// Snapshot is a periodic frozen view of the learned model during a run.
 type Snapshot struct {
 	// Docs is the number of documents examined when the snapshot was taken.
 	Docs int
 	// Queries is the number of queries issued by then.
 	Queries int
-	// Model is a deep copy of the learned model at that point.
+	// Model is an immutable copy-on-write view of the learned model at
+	// that point (langmodel.Model.Snapshot). Treat it as read-only; call
+	// Clone to get a mutable copy.
 	Model *langmodel.Model
 }
 
@@ -254,7 +256,7 @@ func sample(db Database, cfg Config, prev *Result) (*Result, error) {
 				res.Snapshots = append(res.Snapshots, Snapshot{
 					Docs:    res.Docs,
 					Queries: res.Queries,
-					Model:   learned.Clone(),
+					Model:   learned.Snapshot(),
 				})
 				nextSnapshot += cfg.SnapshotEvery
 			}

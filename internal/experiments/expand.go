@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/expansion"
 	"repro/internal/langmodel"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/selection"
 )
@@ -38,25 +39,43 @@ type ExpandResult struct {
 // ExpansionSelection builds a federation, samples every database (the
 // samples double as the expansion pool), and compares bare vs expanded
 // one-term selection queries.
-func ExpansionSelection(numDBs, docsEach, sampleDocs, nQueries, expandK int, seed uint64) (*ExpandResult, error) {
-	dbs, err := Federation(numDBs, docsEach, seed)
+func ExpansionSelection(numDBs, docsEach, sampleDocs, nQueries, expandK int, seed uint64, opts ...Option) (*ExpandResult, error) {
+	o := applyOptions(opts)
+	dbs, err := Federation(numDBs, docsEach, seed, opts...)
 	if err != nil {
 		return nil, err
 	}
 	an := analysis.Database()
-	pool := expansion.NewPool()
-	learned := make([]*langmodel.Model, numDBs)
-	for i, db := range dbs {
+	// Sampling and tokenizing each database is independent and fans out;
+	// the shared co-occurrence pool is then fed sequentially in database
+	// order, keeping its contents byte-identical to the sequential path.
+	type dbSample struct {
+		learned *langmodel.Model
+		tokens  [][]string
+	}
+	samples, err := parallel.Map(o.workers, dbs, func(i int, db *FederationDB) (dbSample, error) {
 		rec := &recorderDB{db: db.Index}
 		cfg := core.DefaultConfig(db.Actual, sampleDocs, seed+uint64(i)+8888)
 		cfg.SnapshotEvery = 0
 		if _, err := core.Sample(rec, cfg); err != nil {
-			return nil, fmt.Errorf("experiments: expand sampling db %d: %w", i, err)
+			return dbSample{}, fmt.Errorf("experiments: expand sampling db %d: %w", i, err)
 		}
-		learned[i] = langmodel.New()
+		out := dbSample{learned: langmodel.New(), tokens: make([][]string, 0, len(rec.texts))}
 		for _, text := range rec.texts {
 			tokens := an.Tokens(text)
-			learned[i].AddDocument(tokens)
+			out.learned.AddDocument(tokens)
+			out.tokens = append(out.tokens, tokens)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool := expansion.NewPool()
+	learned := make([]*langmodel.Model, numDBs)
+	for i, s := range samples {
+		learned[i] = s.learned
+		for _, tokens := range s.tokens {
 			pool.AddDocument(tokens)
 		}
 	}

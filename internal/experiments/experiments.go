@@ -8,6 +8,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/langmodel"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/summarize"
 )
 
@@ -69,25 +70,29 @@ func measure(learned *langmodel.Model, env *Env) (pct, ctf, rho, rhoSimple, tau 
 }
 
 // curvesFromRun converts a sampling result's snapshots into curve points
-// and rdiff steps.
-func curvesFromRun(res *core.Result, env *Env) ([]CurvePoint, []RdiffPoint) {
-	points := make([]CurvePoint, 0, len(res.Snapshots))
-	rdiffs := make([]RdiffPoint, 0, len(res.Snapshots))
-	var prev *langmodel.Model
-	for _, snap := range res.Snapshots {
+// and rdiff steps. Each snapshot's metric evaluation is independent (the
+// snapshots are immutable views), so the measurements fan out over a
+// worker pool; rdiff needs the previous snapshot too, so it runs as a
+// second ordered pass over consecutive pairs. Results are collected in
+// snapshot order, so the output is identical to the sequential loop.
+func curvesFromRun(res *core.Result, env *Env, workers int) ([]CurvePoint, []RdiffPoint) {
+	points, _ := parallel.Map(workers, res.Snapshots, func(_ int, snap core.Snapshot) (CurvePoint, error) {
 		pct, ctf, rho, rhoS, tau := measure(snap.Model, env)
-		points = append(points, CurvePoint{
+		return CurvePoint{
 			Docs: snap.Docs, Queries: snap.Queries,
 			PctLearned: pct, CtfRatio: ctf,
 			Spearman: rho, SpearmanSimple: rhoS, KendallTau: tau,
-		})
-		if prev != nil {
-			rdiffs = append(rdiffs, RdiffPoint{
+		}, nil
+	})
+	rdiffs := make([]RdiffPoint, 0, len(res.Snapshots))
+	if len(res.Snapshots) > 1 {
+		rdiffs, _ = parallel.Map(workers, res.Snapshots[1:], func(i int, snap core.Snapshot) (RdiffPoint, error) {
+			// res.Snapshots[i] is the snapshot preceding snap.
+			return RdiffPoint{
 				Docs:  snap.Docs,
-				Rdiff: metrics.Rdiff(prev, snap.Model, langmodel.ByDF),
-			})
-		}
-		prev = snap.Model
+				Rdiff: metrics.Rdiff(res.Snapshots[i].Model, snap.Model, langmodel.ByDF),
+			}, nil
+		})
 	}
 	return points, rdiffs
 }
@@ -98,53 +103,69 @@ func curvesFromRun(res *core.Result, env *Env) ([]CurvePoint, []RdiffPoint) {
 func (s *Suite) Baseline(name string) (*BaselineRun, error) {
 	s.mu.Lock()
 	if s.baselines == nil {
-		s.baselines = make(map[string]*BaselineRun)
+		s.baselines = make(map[string]*entry[*BaselineRun])
 	}
-	if run, ok := s.baselines[name]; ok {
-		s.mu.Unlock()
-		return run, nil
+	e, ok := s.baselines[name]
+	if !ok {
+		e = &entry[*BaselineRun]{}
+		s.baselines[name] = e
 	}
 	s.mu.Unlock()
+	return e.get(func() (*BaselineRun, error) {
+		env, err := s.Env(name)
+		if err != nil {
+			return nil, err
+		}
+		initial, err := s.initialModel(env)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(initial, s.docBudget(name, env), s.Seed+hashName(name))
+		res, err := core.Sample(env.Index, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s: %w", name, err)
+		}
+		points, rdiffs := curvesFromRun(res, env, s.workers())
+		return &BaselineRun{
+			Corpus: name, Points: points, Rdiff: rdiffs,
+			Queries: res.Queries, FailedQueries: res.FailedQueries, Docs: res.Docs,
+		}, nil
+	})
+}
 
-	env, err := s.Env(name)
-	if err != nil {
+// Baselines runs the baseline experiment on every Table 1 corpus, fanning
+// the independent sampling runs out over the suite's worker pool. The
+// returned slice is in Corpora() order and byte-identical to calling
+// Baseline sequentially (each run is seeded independently).
+func (s *Suite) Baselines() ([]*BaselineRun, error) {
+	names := Corpora()
+	// Build the corpora (and the TREC123 initial model) concurrently
+	// first, so the sampling fan-out below starts from warm env caches.
+	prep := append([]string(nil), names...)
+	if s.InitialFromTREC {
+		prep = append(prep, "TREC123")
+	}
+	if err := s.Prepare(prep...); err != nil {
 		return nil, err
 	}
-	initial, err := s.initialModel(env)
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.DefaultConfig(initial, s.docBudget(name, env), s.Seed+hashName(name))
-	res, err := core.Sample(env.Index, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: baseline %s: %w", name, err)
-	}
-	points, rdiffs := curvesFromRun(res, env)
-	run := &BaselineRun{
-		Corpus: name, Points: points, Rdiff: rdiffs,
-		Queries: res.Queries, FailedQueries: res.FailedQueries, Docs: res.Docs,
-	}
-	s.mu.Lock()
-	s.baselines[name] = run
-	s.mu.Unlock()
-	return run, nil
+	return parallel.Map(s.workers(), names, func(_ int, name string) (*BaselineRun, error) {
+		return s.Baseline(name)
+	})
 }
 
 // Corpora lists the three Table 1 corpora in paper order.
 func Corpora() []string { return []string{"CACM", "WSJ88", "TREC123"} }
 
-// Table1 generates the test-corpus summary (Table 1).
+// Table1 generates the test-corpus summary (Table 1). Corpus builds and
+// the stats passes are independent per corpus, so they fan out.
 func (s *Suite) Table1() ([]corpus.Stats, error) {
-	out := make([]corpus.Stats, 0, 3)
-	for _, name := range Corpora() {
+	return parallel.Map(s.workers(), Corpora(), func(_ int, name string) (corpus.Stats, error) {
 		env, err := s.Env(name)
 		if err != nil {
-			return nil, err
+			return corpus.Stats{}, err
 		}
-		st := corpus.ComputeStats(env.Profile.Name, env.Docs, analysis.Raw())
-		out = append(out, st)
-	}
-	return out, nil
+		return corpus.ComputeStats(env.Profile.Name, env.Docs, analysis.Raw()), nil
+	})
 }
 
 // Table2Row reports, for one (corpus, docs-per-query) pair, how many
@@ -204,8 +225,9 @@ func (s *Suite) Table2(name string, ns []int) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table2Row, 0, len(ns))
-	for _, n := range ns {
+	// Each documents-per-query setting is an independent run with its own
+	// seed, so the sweep fans out over the worker pool.
+	return parallel.Map(s.workers(), ns, func(_ int, n int) (Table2Row, error) {
 		stop := &ctfThresholdStop{env: env, threshold: 0.80}
 		cfg := core.Config{
 			DocsPerQuery:  n,
@@ -218,7 +240,7 @@ func (s *Suite) Table2(name string, ns []int) ([]Table2Row, error) {
 		}
 		res, err := core.Sample(env.Index, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table2 %s N=%d: %w", name, n, err)
+			return Table2Row{}, fmt.Errorf("experiments: table2 %s N=%d: %w", name, n, err)
 		}
 		row := Table2Row{Corpus: name, N: n, Queries: res.Queries}
 		if stop.done {
@@ -226,9 +248,8 @@ func (s *Suite) Table2(name string, ns []int) ([]Table2Row, error) {
 			_, _, _, rhoSimple, _ := measure(res.Learned, env)
 			row.SRCC = rhoSimple
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // StrategyRun is one query-selection-strategy run (Figure 3, Table 3).
@@ -256,59 +277,74 @@ func StrategyNames() []string {
 // from the actual TREC123 model, exactly as the paper does.
 func (s *Suite) Strategies(name string) ([]StrategyRun, error) {
 	s.mu.Lock()
-	if runs, ok := s.strategies[name]; ok {
-		s.mu.Unlock()
-		return runs, nil
-	}
-	s.mu.Unlock()
-	env, err := s.Env(name)
-	if err != nil {
-		return nil, err
-	}
-	initial, err := s.initialModel(env)
-	if err != nil {
-		return nil, err
-	}
-	trec, err := s.Env("TREC123")
-	if err != nil {
-		return nil, err
-	}
-	selectors := []core.TermSelector{
-		core.RandomOLM{Other: trec.Actual},
-		core.RandomLLM{},
-		core.FrequencyLLM{Metric: langmodel.ByAvgTF},
-		core.FrequencyLLM{Metric: langmodel.ByDF},
-		core.FrequencyLLM{Metric: langmodel.ByCTF},
-	}
-	budget := s.docBudget(name, env)
-	runs := make([]StrategyRun, 0, len(selectors))
-	for i, sel := range selectors {
-		cfg := core.Config{
-			DocsPerQuery:  4,
-			Selector:      sel,
-			Stop:          core.StopAfterDocs(budget),
-			InitialModel:  initial,
-			Analyzer:      analysis.Raw(),
-			SnapshotEvery: 50,
-			Seed:          s.Seed + hashName(name) + uint64(1000+i),
-		}
-		res, err := core.Sample(env.Index, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: strategy %s on %s: %w", sel.Name(), name, err)
-		}
-		points, _ := curvesFromRun(res, env)
-		runs = append(runs, StrategyRun{
-			Strategy: sel.Name(), Points: points,
-			Queries: res.Queries, FailedQueries: res.FailedQueries, Docs: res.Docs,
-		})
-	}
-	s.mu.Lock()
 	if s.strategies == nil {
-		s.strategies = make(map[string][]StrategyRun)
+		s.strategies = make(map[string]*entry[[]StrategyRun])
 	}
-	s.strategies[name] = runs
+	e, ok := s.strategies[name]
+	if !ok {
+		e = &entry[[]StrategyRun]{}
+		s.strategies[name] = e
+	}
 	s.mu.Unlock()
-	return runs, nil
+	return e.get(func() ([]StrategyRun, error) {
+		env, err := s.Env(name)
+		if err != nil {
+			return nil, err
+		}
+		initial, err := s.initialModel(env)
+		if err != nil {
+			return nil, err
+		}
+		trec, err := s.Env("TREC123")
+		if err != nil {
+			return nil, err
+		}
+		selectors := []core.TermSelector{
+			core.RandomOLM{Other: trec.Actual},
+			core.RandomLLM{},
+			core.FrequencyLLM{Metric: langmodel.ByAvgTF},
+			core.FrequencyLLM{Metric: langmodel.ByDF},
+			core.FrequencyLLM{Metric: langmodel.ByCTF},
+		}
+		budget := s.docBudget(name, env)
+		// The five strategy runs are independent (per-selector seeds), so
+		// they fan out; results collect in the paper's column order.
+		return parallel.Map(s.workers(), selectors, func(i int, sel core.TermSelector) (StrategyRun, error) {
+			cfg := core.Config{
+				DocsPerQuery:  4,
+				Selector:      sel,
+				Stop:          core.StopAfterDocs(budget),
+				InitialModel:  initial,
+				Analyzer:      analysis.Raw(),
+				SnapshotEvery: 50,
+				Seed:          s.Seed + hashName(name) + uint64(1000+i),
+			}
+			res, err := core.Sample(env.Index, cfg)
+			if err != nil {
+				return StrategyRun{}, fmt.Errorf("experiments: strategy %s on %s: %w", sel.Name(), name, err)
+			}
+			points, _ := curvesFromRun(res, env, s.workers())
+			return StrategyRun{
+				Strategy: sel.Name(), Points: points,
+				Queries: res.Queries, FailedQueries: res.FailedQueries, Docs: res.Docs,
+			}, nil
+		})
+	})
+}
+
+// StrategyMatrix runs the full strategy comparison on several corpora at
+// once — the Figure 3 matrix — fanning out both across corpora and across
+// the five selectors within each corpus. The result is indexed like the
+// names argument and byte-identical to sequential Strategies calls.
+func (s *Suite) StrategyMatrix(names []string) ([][]StrategyRun, error) {
+	prep := append([]string(nil), names...)
+	prep = append(prep, "TREC123") // random-olm always draws from TREC123
+	if err := s.Prepare(prep...); err != nil {
+		return nil, err
+	}
+	return parallel.Map(s.workers(), names, func(_ int, name string) ([]StrategyRun, error) {
+		return s.Strategies(name)
+	})
 }
 
 // Table4Result is the §7 summary of the sampled Support database.

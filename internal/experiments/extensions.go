@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/langmodel"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/selection"
 	"repro/internal/sizeest"
@@ -30,15 +31,18 @@ type FederationDB struct {
 }
 
 // Federation builds k topically distinct databases of docsEach documents,
-// the multi-database universe the selection experiments run against.
-func Federation(k, docsEach int, seed uint64) ([]*FederationDB, error) {
+// the multi-database universe the selection experiments run against. Each
+// database's corpus generation and index build is independent (per-db
+// seeds), so they fan out over a worker pool; the returned slice is in
+// database order regardless of concurrency.
+func Federation(k, docsEach int, seed uint64, opts ...Option) ([]*FederationDB, error) {
+	o := applyOptions(opts)
 	topics := []string{
 		"finance", "law", "medicine", "sport", "energy",
 		"travel", "science", "art", "farming", "military",
 		"weather", "music", "film", "food", "space",
 	}
-	dbs := make([]*FederationDB, 0, k)
-	for i := 0; i < k; i++ {
+	return parallel.Map(o.workers, make([]struct{}, k), func(i int, _ struct{}) (*FederationDB, error) {
 		topic := topics[i%len(topics)]
 		p := corpus.Profile{
 			Name:            fmt.Sprintf("db%02d-%s", i, topic),
@@ -61,9 +65,8 @@ func Federation(k, docsEach int, seed uint64) ([]*FederationDB, error) {
 			return nil, err
 		}
 		ix := index.Build(docs, analysis.Database(), index.InQuery)
-		dbs = append(dbs, &FederationDB{Name: p.Name, Index: ix, Actual: ix.LanguageModel()})
-	}
-	return dbs, nil
+		return &FederationDB{Name: p.Name, Index: ix, Actual: ix.LanguageModel()}, nil
+	})
 }
 
 // AgreementPoint reports database-selection fidelity at one sample size.
@@ -90,8 +93,9 @@ type AgreementResult struct {
 // and measures how closely CORI and GlOSS rankings computed from learned
 // models track the rankings computed from actual models, averaged over
 // nQueries 2-term topical queries.
-func SelectionAgreement(numDBs, docsEach int, sampleSizes []int, nQueries int, seed uint64) ([]AgreementResult, error) {
-	dbs, err := Federation(numDBs, docsEach, seed)
+func SelectionAgreement(numDBs, docsEach int, sampleSizes []int, nQueries int, seed uint64, opts ...Option) ([]AgreementResult, error) {
+	o := applyOptions(opts)
+	dbs, err := Federation(numDBs, docsEach, seed, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -101,21 +105,32 @@ func SelectionAgreement(numDBs, docsEach int, sampleSizes []int, nQueries int, s
 	}
 
 	// Learned models at each budget: sample incrementally per database.
-	learnedAt := make(map[int][]*langmodel.Model, len(sampleSizes))
+	// Every database's run is independent (own seed), so the federation
+	// samples fan out; the per-budget lists are assembled in database
+	// order afterwards.
 	sorted := append([]int(nil), sampleSizes...)
 	sort.Ints(sorted)
 	maxBudget := sorted[len(sorted)-1]
-	for i, db := range dbs {
+	perDB, err := parallel.Map(o.workers, dbs, func(i int, db *FederationDB) ([]*langmodel.Model, error) {
 		cfg := core.DefaultConfig(db.Actual, maxBudget, seed+uint64(i)+12345)
 		cfg.SnapshotEvery = gcdAll(sorted)
 		res, err := core.Sample(db.Index, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: agreement sampling db %d: %w", i, err)
 		}
+		models := make([]*langmodel.Model, 0, len(sorted))
 		for _, budget := range sorted {
-			m := modelAtBudget(res, budget)
-			norm := m.Normalize(db.Index.Analyzer())
-			learnedAt[budget] = append(learnedAt[budget], norm)
+			models = append(models, modelAtBudget(res, budget).Normalize(db.Index.Analyzer()))
+		}
+		return models, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	learnedAt := make(map[int][]*langmodel.Model, len(sorted))
+	for _, models := range perDB {
+		for bi, budget := range sorted {
+			learnedAt[budget] = append(learnedAt[budget], models[bi])
 		}
 	}
 
@@ -239,8 +254,9 @@ type AdversarialResult struct {
 // others refuse to cooperate. Cooperative acquisition ranks the liar
 // first and loses refusing databases entirely; query-based sampling is
 // immune — the liar's lie never shows up in documents it actually returns.
-func Adversarial(numDBs, docsEach, sampleDocs int, seed uint64) (*AdversarialResult, error) {
-	dbs, err := Federation(numDBs, docsEach, seed)
+func Adversarial(numDBs, docsEach, sampleDocs int, seed uint64, opts ...Option) (*AdversarialResult, error) {
+	o := applyOptions(opts)
+	dbs, err := Federation(numDBs, docsEach, seed, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -286,15 +302,18 @@ func Adversarial(numDBs, docsEach, sampleDocs int, seed uint64) (*AdversarialRes
 	coopRank := selection.Rank(selection.CORI{}, query, coopModels)
 
 	// Sampled acquisition: every database reachable, lies ineffective.
-	sampled := make([]*langmodel.Model, numDBs)
-	for i, db := range dbs {
+	// Each database samples independently under the worker pool.
+	sampled, err := parallel.Map(o.workers, dbs, func(i int, db *FederationDB) (*langmodel.Model, error) {
 		cfg := core.DefaultConfig(db.Actual, sampleDocs, seed+uint64(i)+777)
 		cfg.SnapshotEvery = 0
 		res, err := core.Sample(db.Index, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: adversarial sampling db %d: %w", i, err)
 		}
-		sampled[i] = res.Learned.Normalize(db.Index.Analyzer())
+		return res.Learned.Normalize(db.Index.Analyzer()), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sampRank := selection.Rank(selection.CORI{}, query, sampled)
 
@@ -339,15 +358,17 @@ type SizeRow struct {
 // SizeEstimation runs both size estimators against every corpus with the
 // given per-pass document budget.
 func (s *Suite) SizeEstimation(sampleDocs int) ([]SizeRow, error) {
-	rows := make([]SizeRow, 0, 3)
-	for _, name := range Corpora() {
+	if err := s.prepareCorpora(); err != nil {
+		return nil, err
+	}
+	return parallel.Map(s.workers(), Corpora(), func(_ int, name string) (SizeRow, error) {
 		env, err := s.Env(name)
 		if err != nil {
-			return nil, err
+			return SizeRow{}, err
 		}
 		initial, err := s.initialModel(env)
 		if err != nil {
-			return nil, err
+			return SizeRow{}, err
 		}
 		budget := sampleDocs
 		if budget > env.Profile.Docs {
@@ -355,28 +376,37 @@ func (s *Suite) SizeEstimation(sampleDocs int) ([]SizeRow, error) {
 		}
 		cr, err := sizeest.CaptureRecaptureSample(env.Index, initial, budget, s.Seed+hashName(name)+71)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: size %s: %w", name, err)
+			return SizeRow{}, fmt.Errorf("experiments: size %s: %w", name, err)
 		}
 		cfg := core.DefaultConfig(initial, budget, s.Seed+hashName(name)+73)
 		cfg.SnapshotEvery = 0
 		res, err := core.Sample(env.Index, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: size %s: %w", name, err)
+			return SizeRow{}, fmt.Errorf("experiments: size %s: %w", name, err)
 		}
 		learned := res.Learned.Normalize(env.Index.Analyzer())
 		sr, err := sizeest.SampleResample(env.Index, learned, 20, s.Seed+hashName(name)+79)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: size %s: %w", name, err)
+			return SizeRow{}, fmt.Errorf("experiments: size %s: %w", name, err)
 		}
-		rows = append(rows, SizeRow{
+		return SizeRow{
 			Corpus: name, Actual: env.Profile.Docs, SampleDocs: budget,
 			CaptureRecapture:    cr,
 			CaptureRecaptureErr: sizeest.RelativeError(cr, env.Profile.Docs),
 			SampleResample:      sr,
 			SampleResampleErr:   sizeest.RelativeError(sr, env.Profile.Docs),
-		})
+		}, nil
+	})
+}
+
+// prepareCorpora warms the three Table 1 corpora (plus the TREC123 initial
+// model when needed) concurrently before a per-corpus fan-out.
+func (s *Suite) prepareCorpora() error {
+	prep := Corpora()
+	if s.InitialFromTREC {
+		prep = append(prep, "TREC123")
 	}
-	return rows, nil
+	return s.Prepare(prep...)
 }
 
 // StoppingRow is the ext-stop experiment output for one corpus: what the
@@ -398,15 +428,17 @@ type StoppingRow struct {
 // StoppingRule evaluates StopWhenConverged(threshold, 2 spans) against the
 // paper's fixed budgets on every corpus.
 func (s *Suite) StoppingRule(threshold float64) ([]StoppingRow, error) {
-	rows := make([]StoppingRow, 0, 3)
-	for _, name := range Corpora() {
+	if err := s.prepareCorpora(); err != nil {
+		return nil, err
+	}
+	return parallel.Map(s.workers(), Corpora(), func(_ int, name string) (StoppingRow, error) {
 		env, err := s.Env(name)
 		if err != nil {
-			return nil, err
+			return StoppingRow{}, err
 		}
 		initial, err := s.initialModel(env)
 		if err != nil {
-			return nil, err
+			return StoppingRow{}, err
 		}
 		cfg := core.DefaultConfig(initial, 0, s.Seed+hashName(name)+31)
 		cfg.Stop = core.StopAny(
@@ -415,21 +447,20 @@ func (s *Suite) StoppingRule(threshold float64) ([]StoppingRow, error) {
 		)
 		res, err := core.Sample(env.Index, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: stopping rule on %s: %w", name, err)
+			return StoppingRow{}, fmt.Errorf("experiments: stopping rule on %s: %w", name, err)
 		}
 		_, ctf, _, rhoSimple, _ := measure(res.Learned, env)
 		row := StoppingRow{Corpus: name, Docs: res.Docs, CtfRatio: ctf, Spearman: rhoSimple}
 
 		base, err := s.Baseline(name)
 		if err != nil {
-			return nil, err
+			return StoppingRow{}, err
 		}
 		row.FixedDocs = base.Docs
 		if n := len(base.Points); n > 0 {
 			row.FixedCtfRatio = base.Points[n-1].CtfRatio
 			row.FixedSpearman = base.Points[n-1].SpearmanSimple
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

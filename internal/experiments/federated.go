@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/langmodel"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/selection"
 )
@@ -41,8 +42,9 @@ type FedResult struct {
 
 // FederatedRetrieval builds a federation plus a centralized index over
 // the same documents and measures end-to-end P@10 for the four systems.
-func FederatedRetrieval(numDBs, docsEach, sampleDocs, nQueries, selectK int, seed uint64) (*FedResult, error) {
-	dbs, err := Federation(numDBs, docsEach, seed)
+func FederatedRetrieval(numDBs, docsEach, sampleDocs, nQueries, selectK int, seed uint64, opts ...Option) (*FedResult, error) {
+	o := applyOptions(opts)
+	dbs, err := Federation(numDBs, docsEach, seed, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -65,18 +67,23 @@ func FederatedRetrieval(numDBs, docsEach, sampleDocs, nQueries, selectK int, see
 	}
 	central := index.Build(all, analysis.Database(), index.InQuery)
 
-	// Models: actual, and learned by sampling.
+	// Models: actual, and learned by sampling each database independently
+	// under the worker pool (per-db seeds, database-ordered collection).
 	actuals := make([]*langmodel.Model, numDBs)
-	sampled := make([]*langmodel.Model, numDBs)
 	for i, db := range dbs {
 		actuals[i] = db.Actual
+	}
+	sampled, err := parallel.Map(o.workers, dbs, func(i int, db *FederationDB) (*langmodel.Model, error) {
 		cfg := core.DefaultConfig(db.Actual, sampleDocs, seed+uint64(i)+4242)
 		cfg.SnapshotEvery = 0
 		res, err := core.Sample(db.Index, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fed sampling db %d: %w", i, err)
 		}
-		sampled[i] = res.Learned.Normalize(db.Index.Analyzer())
+		return res.Learned.Normalize(db.Index.Analyzer()), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	queries := federationQueries(dbs, nQueries, seed+777)

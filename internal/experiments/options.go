@@ -1,0 +1,30 @@
+package experiments
+
+import "repro/internal/parallel"
+
+// Option configures the package-level experiment functions (the federation
+// extensions, which are not Suite methods because they build their own
+// databases).
+type Option func(*options)
+
+type options struct {
+	workers int
+}
+
+// WithWorkers caps the number of concurrent sampling runs inside a
+// package-level experiment. n <= 0 (the default) means one worker per CPU.
+// Results are byte-identical at any setting: every database's sampling run
+// has its own seed and results are collected in database order.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// applyOptions resolves the option list.
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.workers = parallel.Workers(o.workers)
+	return o
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// goldenPair returns two suites sharing the small-scale corpora: one
+// strictly sequential, one running on a 4-worker pool. Determinism of
+// core.Sample per seed means both must produce byte-identical rows.
+func goldenPair(t *testing.T) (seq, par *Suite) {
+	t.Helper()
+	base := smallSuite()
+	if err := base.Prepare(Corpora()...); err != nil {
+		t.Fatal(err)
+	}
+	seq = base.WithSharedEnvs(base.Seed)
+	seq.Parallel = 1
+	par = base.WithSharedEnvs(base.Seed)
+	par.Parallel = 4
+	return seq, par
+}
+
+func TestBaselinesParallelGolden(t *testing.T) {
+	seq, par := goldenPair(t)
+	want, err := seq.Baselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Baselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(Corpora()) {
+		t.Fatalf("got %d baseline runs", len(want))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("parallel Baselines differ from sequential")
+	}
+	// And both match the single-run entry point.
+	for i, name := range Corpora() {
+		run, err := seq.Baseline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(run, want[i]) {
+			t.Fatalf("Baselines()[%d] differs from Baseline(%s)", i, name)
+		}
+	}
+}
+
+func TestStrategyMatrixParallelGolden(t *testing.T) {
+	seq, par := goldenPair(t)
+	names := []string{"CACM", "WSJ88"}
+	want, err := seq.StrategyMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.StrategyMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(names) || len(want[0]) != len(StrategyNames()) {
+		t.Fatalf("matrix shape %dx%d", len(want), len(want[0]))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("parallel StrategyMatrix differs from sequential")
+	}
+}
+
+func TestTable2ParallelGolden(t *testing.T) {
+	seq, par := goldenPair(t)
+	ns := []int{1, 2, 4}
+	want, err := seq.Table2("CACM", ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Table2("CACM", ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("parallel Table2 differs from sequential")
+	}
+}
+
+func TestSeedVarianceParallelGolden(t *testing.T) {
+	seq, par := goldenPair(t)
+	want, err := seq.SeedVariance("CACM", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.SeedVariance("CACM", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("parallel SeedVariance differs: %+v vs %+v", want, got)
+	}
+}
+
+func TestFederationExtensionsParallelGolden(t *testing.T) {
+	wantAgree, err := SelectionAgreement(4, 150, []int{25, 50}, 6, 3, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAgree, err := SelectionAgreement(4, 150, []int{25, 50}, 6, 3, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantAgree, gotAgree) {
+		t.Fatal("parallel SelectionAgreement differs from sequential")
+	}
+
+	wantFed, err := FederatedRetrieval(4, 150, 60, 6, 2, 9, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFed, err := FederatedRetrieval(4, 150, 60, 6, 2, 9, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantFed, gotFed) {
+		t.Fatal("parallel FederatedRetrieval differs from sequential")
+	}
+}
+
+// TestSuiteConcurrentBaselines exercises the Suite caches from many
+// goroutines at once (meaningful under -race): every corpus requested
+// repeatedly and concurrently must come back as the one cached run, equal
+// to the sequential suite's answer.
+func TestSuiteConcurrentBaselines(t *testing.T) {
+	seq, par := goldenPair(t)
+
+	type res struct {
+		name string
+		run  *BaselineRun
+		err  error
+	}
+	const replicas = 3
+	out := make(chan res, replicas*len(Corpora()))
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		for _, name := range Corpora() {
+			name := name
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run, err := par.Baseline(name)
+				out <- res{name, run, err}
+			}()
+		}
+	}
+	wg.Wait()
+	close(out)
+
+	byName := map[string]*BaselineRun{}
+	for r := range out {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if prev, ok := byName[r.name]; ok && prev != r.run {
+			t.Fatalf("%s: cache returned distinct runs under concurrency", r.name)
+		}
+		byName[r.name] = r.run
+	}
+	for _, name := range Corpora() {
+		want, err := seq.Baseline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, byName[name]) {
+			t.Fatalf("%s: concurrent result differs from sequential", name)
+		}
+	}
+}
+
+// TestSuiteConcurrentStrategies does the same for the strategy cache.
+func TestSuiteConcurrentStrategies(t *testing.T) {
+	seq, par := goldenPair(t)
+	var wg sync.WaitGroup
+	results := make([][]StrategyRun, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = par.Strategies("CACM")
+		}()
+	}
+	wg.Wait()
+	want, err := seq.Strategies("CACM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(want, results[i]) {
+			t.Fatalf("concurrent Strategies call %d differs from sequential", i)
+		}
+	}
+}

@@ -4,6 +4,14 @@
 // experiments prints them paper-style and bench_test.go wraps them in
 // testing.B benchmarks. Everything is deterministic for a given Suite
 // configuration.
+//
+// Every experiment is a set of independent sampling runs, each driven by
+// its own seed, so the suite fans out over internal/parallel worker pools:
+// Suite.Parallel caps the concurrency, and results are collected in input
+// order, making parallel output byte-identical to the sequential path
+// (asserted by the golden tests in parallel_test.go). Suite itself is safe
+// for concurrent use: the env/baseline/strategy caches build each entry
+// exactly once behind a per-key sync.Once.
 package experiments
 
 import (
@@ -14,6 +22,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/langmodel"
+	"repro/internal/parallel"
 )
 
 // Env is a prepared test database: generated corpus, built index, and the
@@ -30,6 +39,21 @@ type Env struct {
 	Actual *langmodel.Model
 }
 
+// entry is a build-once cache slot: the per-key sync.Once lets distinct
+// keys build concurrently while concurrent requests for the same key block
+// on a single build.
+type entry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// get returns the cached value, building it on first use.
+func (e *entry[T]) get(build func() (T, error)) (T, error) {
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
 // Suite prepares and caches the experiment databases.
 type Suite struct {
 	// Scale multiplies every profile's document count; 1.0 runs the
@@ -43,11 +67,16 @@ type Suite struct {
 	// database's own model — the paper found the choice immaterial, and
 	// this avoids building the largest corpus for small experiments.
 	InitialFromTREC bool
+	// Parallel caps the number of concurrent sampling runs (and of
+	// concurrent per-snapshot metric evaluations inside each run). 0 means
+	// one worker per CPU (GOMAXPROCS); 1 runs strictly sequentially.
+	// Results are byte-identical either way — every run has its own seed.
+	Parallel int
 
 	mu         sync.Mutex
-	envs       map[string]*Env
-	baselines  map[string]*BaselineRun
-	strategies map[string][]StrategyRun
+	envs       map[string]*entry[*Env]
+	baselines  map[string]*entry[*BaselineRun]
+	strategies map[string]*entry[[]StrategyRun]
 }
 
 // NewSuite returns a Suite at the given scale.
@@ -61,7 +90,7 @@ func NewSuite(scale float64, seed uint64) *Suite {
 func (s *Suite) WithSharedEnvs(seed uint64) *Suite {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	envs := make(map[string]*Env, len(s.envs))
+	envs := make(map[string]*entry[*Env], len(s.envs))
 	for k, v := range s.envs {
 		envs[k] = v
 	}
@@ -69,9 +98,13 @@ func (s *Suite) WithSharedEnvs(seed uint64) *Suite {
 		Scale:           s.Scale,
 		Seed:            seed,
 		InitialFromTREC: s.InitialFromTREC,
+		Parallel:        s.Parallel,
 		envs:            envs,
 	}
 }
+
+// workers resolves the suite's concurrency cap.
+func (s *Suite) workers() int { return parallel.Workers(s.Parallel) }
 
 // profileByName maps experiment corpus names to profiles.
 func profileByName(name string) (corpus.Profile, error) {
@@ -88,33 +121,51 @@ func profileByName(name string) (corpus.Profile, error) {
 	return corpus.Profile{}, fmt.Errorf("experiments: unknown corpus %q", name)
 }
 
-// Env returns the prepared environment for one of the paper corpora
-// ("CACM", "WSJ88", "TREC123", "Support"), building and caching it on
-// first use.
-func (s *Suite) Env(name string) (*Env, error) {
+// envEntry returns (creating if needed) the cache slot for a corpus. Only
+// the map access is under the suite lock; the build itself runs outside
+// it, so different corpora can build concurrently.
+func (s *Suite) envEntry(name string) *entry[*Env] {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if env, ok := s.envs[name]; ok {
-		return env, nil
-	}
-	p, err := profileByName(name)
-	if err != nil {
-		return nil, err
-	}
-	if s.Scale > 0 && s.Scale != 1 {
-		p = corpus.Scaled(p, s.Scale)
-	}
-	docs, err := p.Generate()
-	if err != nil {
-		return nil, err
-	}
-	ix := index.Build(docs, analysis.Database(), index.InQuery)
-	env := &Env{Profile: p, Docs: docs, Index: ix, Actual: ix.LanguageModel()}
 	if s.envs == nil {
-		s.envs = make(map[string]*Env)
+		s.envs = make(map[string]*entry[*Env])
 	}
-	s.envs[name] = env
-	return env, nil
+	e, ok := s.envs[name]
+	if !ok {
+		e = &entry[*Env]{}
+		s.envs[name] = e
+	}
+	return e
+}
+
+// Env returns the prepared environment for one of the paper corpora
+// ("CACM", "WSJ88", "TREC123", "Support"), building and caching it on
+// first use. Safe for concurrent use.
+func (s *Suite) Env(name string) (*Env, error) {
+	return s.envEntry(name).get(func() (*Env, error) {
+		p, err := profileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if s.Scale > 0 && s.Scale != 1 {
+			p = corpus.Scaled(p, s.Scale)
+		}
+		docs, err := p.Generate()
+		if err != nil {
+			return nil, err
+		}
+		ix := index.Build(docs, analysis.Database(), index.InQuery)
+		return &Env{Profile: p, Docs: docs, Index: ix, Actual: ix.LanguageModel()}, nil
+	})
+}
+
+// Prepare builds the named corpora concurrently (bounded by Parallel) so a
+// following fan-out starts from warm caches. Duplicate names are fine.
+func (s *Suite) Prepare(names ...string) error {
+	return parallel.ForN(s.workers(), len(names), func(i int) error {
+		_, err := s.Env(names[i])
+		return err
+	})
 }
 
 // initialModel returns the model the first query term is drawn from for a

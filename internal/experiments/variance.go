@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // VarianceRow reports run-to-run variability of the baseline experiment on
@@ -39,20 +40,29 @@ func (s *Suite) SeedVariance(name string, nSeeds int) (VarianceRow, error) {
 	}
 	budget := s.docBudget(name, env)
 
-	ctfs := make([]float64, 0, nSeeds)
-	rhos := make([]float64, 0, nSeeds)
-	queries := make([]float64, 0, nSeeds)
-	for i := 0; i < nSeeds; i++ {
+	// The seed replicas are the textbook embarrassingly parallel workload:
+	// same configuration, different seeds, no shared state.
+	type finals struct{ ctf, rho, queries float64 }
+	runs, err := parallel.Map(s.workers(), make([]struct{}, nSeeds), func(i int, _ struct{}) (finals, error) {
 		cfg := core.DefaultConfig(initial, budget, s.Seed+hashName(name)+uint64(5000+i*13))
 		cfg.SnapshotEvery = 0
 		res, err := core.Sample(env.Index, cfg)
 		if err != nil {
-			return VarianceRow{}, fmt.Errorf("experiments: variance %s seed %d: %w", name, i, err)
+			return finals{}, fmt.Errorf("experiments: variance %s seed %d: %w", name, i, err)
 		}
 		_, ctf, _, rhoSimple, _ := measure(res.Learned, env)
-		ctfs = append(ctfs, ctf)
-		rhos = append(rhos, rhoSimple)
-		queries = append(queries, float64(res.Queries))
+		return finals{ctf: ctf, rho: rhoSimple, queries: float64(res.Queries)}, nil
+	})
+	if err != nil {
+		return VarianceRow{}, err
+	}
+	ctfs := make([]float64, 0, nSeeds)
+	rhos := make([]float64, 0, nSeeds)
+	queries := make([]float64, 0, nSeeds)
+	for _, r := range runs {
+		ctfs = append(ctfs, r.ctf)
+		rhos = append(rhos, r.rho)
+		queries = append(queries, r.queries)
 	}
 	row := VarianceRow{Corpus: name, Seeds: nSeeds}
 	row.CtfMean, row.CtfStd = meanStd(ctfs)

@@ -296,10 +296,18 @@ func (ix *Index) Fetch(id int) (corpus.Document, error) {
 // ctf for every index term, under the database's own analyzer. This is what
 // a fully cooperative provider would export, and the ground truth the
 // experiments compare learned models against.
+// Terms are inserted in sorted order, not map-iteration order: the model's
+// positional term order feeds the sampler's query selector, so building the
+// same index twice must yield models with identical draws.
 func (ix *Index) LanguageModel() *langmodel.Model {
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
 	m := langmodel.New()
-	for t, plist := range ix.postings {
-		m.AddTerm(t, langmodel.TermStats{DF: len(plist), CTF: ix.ctf[t]})
+	for _, t := range terms {
+		m.AddTerm(t, langmodel.TermStats{DF: len(ix.postings[t]), CTF: ix.ctf[t]})
 	}
 	m.SetDocs(len(ix.docs))
 	return m

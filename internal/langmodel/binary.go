@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // Binary model format. A selection service indexes thousands of databases
@@ -42,16 +41,12 @@ func (m *Model) WriteBinary(w io.Writer) (int64, error) {
 	if err := writeUvarint(uint64(m.docs)); err != nil {
 		return cw.n, err
 	}
-	if err := writeUvarint(uint64(len(m.terms))); err != nil {
+	if err := writeUvarint(uint64(m.VocabSize())); err != nil {
 		return cw.n, err
 	}
-	terms := make([]string, 0, len(m.terms))
-	for t := range m.terms {
-		terms = append(terms, t)
-	}
-	sort.Strings(terms)
+	terms := m.Vocabulary()
 	for _, t := range terms {
-		st := m.terms[t]
+		st, _ := m.lookup(t)
 		if err := writeUvarint(uint64(len(t))); err != nil {
 			return cw.n, err
 		}

@@ -8,11 +8,22 @@
 // database index), the *learned* language model (built incrementally from
 // sampled documents), and the *union of samples* used for query expansion
 // (§8).
+//
+// A Model is either *live* (mutable, built by AddDocument/AddTerm/Merge)
+// or *frozen* (an immutable snapshot taken with Snapshot). Snapshots are
+// copy-on-write: internally a model may be a small overlay of recent
+// changes on top of a chain of frozen base layers, so taking a snapshot
+// costs O(changes since the last snapshot), not O(vocabulary). All
+// accessors resolve through the chain transparently; mutating a frozen
+// model panics.
 package langmodel
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"repro/internal/analysis"
 )
 
 // TermStats carries the per-term frequency information of a language model.
@@ -31,13 +42,40 @@ func (t TermStats) AvgTF() float64 {
 	return float64(t.CTF) / float64(t.DF)
 }
 
+// maxSnapshotDepth bounds the copy-on-write layer chain: a snapshot whose
+// chain would exceed this depth is materialized flat instead, so term
+// lookups stay O(maxSnapshotDepth) in the worst case while snapshots
+// remain O(delta) in the common case.
+const maxSnapshotDepth = 8
+
 // Model is a language model: a vocabulary with frequency statistics. The
 // zero value is not usable; call New.
 type Model struct {
-	terms    map[string]TermStats
+	// terms holds the stats written since the last snapshot cut. For a
+	// flat model (base == nil) it holds the whole vocabulary; otherwise a
+	// term missing here resolves through the base chain.
+	terms map[string]TermStats
+	// base is the frozen layer beneath this model's overlay (nil for flat
+	// models). Base layers are immutable and may be shared by several
+	// snapshots and the live model.
+	base *Model
+	// depth is the number of base layers beneath this one.
+	depth int
+	// frozen marks an immutable snapshot; mutating it panics.
+	frozen   bool
 	order    []string // terms in first-seen order; see TermAt
 	docs     int
 	totalCTF int64
+
+	// version counts mutations, invalidating the normalize cache.
+	version uint64
+	// Normalize memoization (see normalize.go). Guarded by normMu so
+	// read-only sharing of a model across goroutines stays race-free.
+	normMu      sync.Mutex
+	normVal     *Model
+	normAn      analysis.Analyzer
+	normVersion uint64
+	normValid   bool
 }
 
 // New returns an empty language model.
@@ -45,37 +83,64 @@ func New() *Model {
 	return &Model{terms: make(map[string]TermStats)}
 }
 
+// lookup resolves a term's stats through the copy-on-write chain.
+func (m *Model) lookup(term string) (TermStats, bool) {
+	for n := m; n != nil; n = n.base {
+		if st, ok := n.terms[term]; ok {
+			return st, true
+		}
+	}
+	return TermStats{}, false
+}
+
 // AddDocument folds one document's tokens into the model: df increases by
 // one for each distinct term, ctf by each occurrence. This is the update
-// step 4 of the sampling algorithm (§3).
+// step 4 of the sampling algorithm (§3). A single pass over the tokens
+// with one scratch map does both counts; insertion order (and with it
+// every downstream random draw) stays deterministic because new terms are
+// appended the moment they are first seen.
 func (m *Model) AddDocument(tokens []string) {
+	m.mutable()
 	counts := make(map[string]int, len(tokens))
+	distinct := make([]string, 0, len(tokens))
 	for _, t := range tokens {
+		if counts[t] == 0 {
+			distinct = append(distinct, t)
+		}
 		counts[t]++
 	}
-	// Iterate the token slice, not the map, so insertion order (and with
-	// it every downstream random draw) is deterministic.
-	done := make(map[string]bool, len(counts))
-	for _, t := range tokens {
-		if done[t] {
-			continue
+	for _, t := range distinct {
+		st, ok := m.lookup(t)
+		if !ok {
+			m.order = append(m.order, t)
 		}
-		done[t] = true
-		m.bump(t, 1, int64(counts[t]))
+		st.DF++
+		st.CTF += int64(counts[t])
+		m.terms[t] = st
 	}
 	m.totalCTF += int64(len(tokens))
 	m.docs++
+	m.version++
+}
+
+// mutable panics when the model is a frozen snapshot.
+func (m *Model) mutable() {
+	if m.frozen {
+		panic("langmodel: mutating a frozen snapshot")
+	}
 }
 
 // bump merges (df, ctf) deltas for one term, tracking first-seen order.
 func (m *Model) bump(term string, df int, ctf int64) {
-	st, ok := m.terms[term]
+	m.mutable()
+	st, ok := m.lookup(term)
 	if !ok {
 		m.order = append(m.order, term)
 	}
 	st.DF += df
 	st.CTF += ctf
 	m.terms[term] = st
+	m.version++
 }
 
 // AddTerm merges raw statistics for one term without counting a document.
@@ -87,7 +152,11 @@ func (m *Model) AddTerm(term string, st TermStats) {
 
 // SetDocs records the number of documents the model describes (used when a
 // model is ingested from a cooperative export rather than built from text).
-func (m *Model) SetDocs(n int) { m.docs = n }
+func (m *Model) SetDocs(n int) {
+	m.mutable()
+	m.docs = n
+	m.version++
+}
 
 // Docs returns the number of documents folded into the model.
 func (m *Model) Docs() int { return m.docs }
@@ -96,24 +165,29 @@ func (m *Model) Docs() int { return m.docs }
 func (m *Model) TotalCTF() int64 { return m.totalCTF }
 
 // VocabSize returns the number of distinct terms.
-func (m *Model) VocabSize() int { return len(m.terms) }
+func (m *Model) VocabSize() int { return len(m.order) }
 
 // Stats returns the frequency statistics for a term, with ok reporting
 // whether the term is in the vocabulary.
 func (m *Model) Stats(term string) (TermStats, bool) {
-	st, ok := m.terms[term]
-	return st, ok
+	return m.lookup(term)
 }
 
 // DF returns the document frequency of term (0 if absent).
-func (m *Model) DF(term string) int { return m.terms[term].DF }
+func (m *Model) DF(term string) int {
+	st, _ := m.lookup(term)
+	return st.DF
+}
 
 // CTF returns the collection term frequency of term (0 if absent).
-func (m *Model) CTF(term string) int64 { return m.terms[term].CTF }
+func (m *Model) CTF(term string) int64 {
+	st, _ := m.lookup(term)
+	return st.CTF
+}
 
 // Contains reports whether the term is in the vocabulary.
 func (m *Model) Contains(term string) bool {
-	_, ok := m.terms[term]
+	_, ok := m.lookup(term)
 	return ok
 }
 
@@ -125,10 +199,7 @@ func (m *Model) TermAt(i int) string { return m.order[i] }
 // Vocabulary returns the terms in sorted order (deterministic for tests and
 // reports).
 func (m *Model) Vocabulary() []string {
-	out := make([]string, 0, len(m.terms))
-	for t := range m.terms {
-		out = append(out, t)
-	}
+	out := append([]string(nil), m.order...)
 	sort.Strings(out)
 	return out
 }
@@ -137,34 +208,72 @@ func (m *Model) Vocabulary() []string {
 // false.
 func (m *Model) Range(fn func(term string, st TermStats) bool) {
 	for _, t := range m.order {
-		if !fn(t, m.terms[t]) {
+		st, _ := m.lookup(t)
+		if !fn(t, st) {
 			return
 		}
 	}
 }
 
-// Clone returns a deep copy.
-func (m *Model) Clone() *Model {
+// Snapshot returns an immutable view of the model's current state. Unlike
+// Clone it does not copy the vocabulary: the live model's overlay map is
+// frozen in place as a new base layer and the live model continues with a
+// fresh, empty overlay, so the cost is O(terms changed since the last
+// snapshot). The sampler takes one of these every SnapshotEvery documents
+// (§4.4's 50-document metric grid), which used to deep-copy the entire
+// vocabulary each time.
+func (m *Model) Snapshot() *Model {
+	if m.frozen {
+		return m // already immutable
+	}
+	fr := &Model{
+		terms:    m.terms,
+		base:     m.base,
+		depth:    m.depth,
+		frozen:   true,
+		order:    m.order[:len(m.order):len(m.order)],
+		docs:     m.docs,
+		totalCTF: m.totalCTF,
+	}
+	if fr.depth >= maxSnapshotDepth {
+		fr = fr.flatten()
+		fr.frozen = true
+	}
+	m.base = fr
+	m.depth = fr.depth + 1
+	m.terms = make(map[string]TermStats)
+	return fr
+}
+
+// flatten materializes the chain into a single flat layer. The result is
+// live (not frozen) unless the caller marks it otherwise.
+func (m *Model) flatten() *Model {
 	c := &Model{
-		terms:    make(map[string]TermStats, len(m.terms)),
+		terms:    make(map[string]TermStats, len(m.order)),
 		order:    append([]string(nil), m.order...),
 		docs:     m.docs,
 		totalCTF: m.totalCTF,
 	}
-	for t, st := range m.terms {
+	for _, t := range c.order {
+		st, _ := m.lookup(t)
 		c.terms[t] = st
 	}
 	return c
+}
+
+// Clone returns a deep, flat, mutable copy.
+func (m *Model) Clone() *Model {
+	return m.flatten()
 }
 
 // Merge folds other into m (vocabulary union, summed statistics, summed
 // document counts). The union of per-database samples that §8 uses for
 // query expansion is built this way.
 func (m *Model) Merge(other *Model) {
-	for _, t := range other.order {
-		st := other.terms[t]
+	other.Range(func(t string, st TermStats) bool {
 		m.bump(t, st.DF, st.CTF)
-	}
+		return true
+	})
 	m.docs += other.docs
 	m.totalCTF += other.totalCTF
 }
@@ -172,5 +281,5 @@ func (m *Model) Merge(other *Model) {
 // String summarizes the model for logs.
 func (m *Model) String() string {
 	return fmt.Sprintf("langmodel(%d terms, %d docs, %d occurrences)",
-		len(m.terms), m.docs, m.totalCTF)
+		len(m.order), m.docs, m.totalCTF)
 }

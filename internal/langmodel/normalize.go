@@ -8,11 +8,28 @@ import "repro/internal/analysis"
 // stemming/stopping is applied only when comparing against a database's
 // (stemmed, stopped) actual model.
 //
+// The result is memoized per (analyzer, model version): normalizing an
+// unchanged model with the same analyzer again returns the cached view
+// instead of rebuilding it. Every per-snapshot metric and every oracle
+// stop condition normalizes before comparing, so the cache removes a full
+// vocabulary rebuild from those hot paths. The cached view is shared —
+// callers must treat the returned model as read-only, which every caller
+// in this repository already does.
+//
 // Merging variants sums df, which can overcount the true stem df when one
 // document contains several variants of the same stem; the true value is
 // unrecoverable from term-level statistics alone. The bias is small and
 // identical across experiment arms, so comparisons remain valid.
 func (m *Model) Normalize(an analysis.Analyzer) *Model {
+	m.normMu.Lock()
+	if m.normValid && m.normAn == an && m.normVersion == m.version {
+		out := m.normVal
+		m.normMu.Unlock()
+		return out
+	}
+	version := m.version
+	m.normMu.Unlock()
+
 	out := New()
 	out.docs = m.docs
 	for _, t := range m.order {
@@ -20,10 +37,14 @@ func (m *Model) Normalize(an analysis.Analyzer) *Model {
 		if !ok {
 			continue
 		}
-		st := m.terms[t]
+		st, _ := m.lookup(t)
 		out.bump(nt, st.DF, st.CTF)
 		out.totalCTF += st.CTF
 	}
+
+	m.normMu.Lock()
+	m.normVal, m.normAn, m.normVersion, m.normValid = out, an, version, true
+	m.normMu.Unlock()
 	return out
 }
 
@@ -35,7 +56,7 @@ func (m *Model) Restrict(other *Model) *Model {
 	out.docs = m.docs
 	for _, t := range m.order {
 		if other.Contains(t) {
-			st := m.terms[t]
+			st, _ := m.lookup(t)
 			out.bump(t, st.DF, st.CTF)
 			out.totalCTF += st.CTF
 		}
@@ -53,7 +74,7 @@ func (m *Model) Prune(minDF int) *Model {
 	out := New()
 	out.docs = m.docs
 	for _, t := range m.order {
-		st := m.terms[t]
+		st, _ := m.lookup(t)
 		if st.DF < minDF {
 			continue
 		}

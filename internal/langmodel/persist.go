@@ -18,10 +18,11 @@ type modelJSON struct {
 
 // WriteTo serializes the model as JSON. It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
-	dto := modelJSON{Docs: m.docs, Terms: make(map[string][2]int64, len(m.terms))}
-	for t, st := range m.terms {
+	dto := modelJSON{Docs: m.docs, Terms: make(map[string][2]int64, m.VocabSize())}
+	m.Range(func(t string, st TermStats) bool {
 		dto.Terms[t] = [2]int64{int64(st.DF), st.CTF}
-	}
+		return true
+	})
 	cw := &countingWriter{w: w}
 	enc := json.NewEncoder(cw)
 	if err := enc.Encode(dto); err != nil {
@@ -88,9 +89,9 @@ func Load(path string) (*Model, error) {
 func (m *Model) DumpTSV(w io.Writer) error {
 	terms := m.Vocabulary()
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# docs=%d terms=%d total_ctf=%d\n", m.docs, len(m.terms), m.totalCTF)
+	fmt.Fprintf(bw, "# docs=%d terms=%d total_ctf=%d\n", m.docs, m.VocabSize(), m.totalCTF)
 	for _, t := range terms {
-		st := m.terms[t]
+		st, _ := m.lookup(t)
 		fmt.Fprintf(bw, "%s\t%d\t%d\n", t, st.DF, st.CTF)
 	}
 	return bw.Flush()
@@ -99,15 +100,17 @@ func (m *Model) DumpTSV(w io.Writer) error {
 // Equal reports whether two models have identical statistics (used by
 // round-trip tests).
 func (m *Model) Equal(other *Model) bool {
-	if m.docs != other.docs || len(m.terms) != len(other.terms) {
+	if m.docs != other.docs || m.VocabSize() != other.VocabSize() {
 		return false
 	}
-	for t, st := range m.terms {
-		if other.terms[t] != st {
-			return false
+	equal := true
+	m.Range(func(t string, st TermStats) bool {
+		if ost, ok := other.lookup(t); !ok || ost != st {
+			equal = false
 		}
-	}
-	return true
+		return equal
+	})
+	return equal
 }
 
 // sortedTerms is a test helper ensuring deterministic ordering when needed.
@@ -118,13 +121,14 @@ func (m *Model) sortedStats() []struct {
 	out := make([]struct {
 		Term string
 		TermStats
-	}, 0, len(m.terms))
-	for t, st := range m.terms {
+	}, 0, m.VocabSize())
+	m.Range(func(t string, st TermStats) bool {
 		out = append(out, struct {
 			Term string
 			TermStats
 		}{t, st})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
 	return out
 }

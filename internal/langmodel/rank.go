@@ -44,8 +44,13 @@ func (r RankMetric) value(st TermStats) float64 {
 // database-summary primitive.
 func (m *Model) TopTerms(metric RankMetric, n int) []string {
 	terms := m.Vocabulary()
+	values := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		st, _ := m.lookup(t)
+		values[t] = metric.value(st)
+	}
 	sort.SliceStable(terms, func(i, j int) bool {
-		vi, vj := metric.value(m.terms[terms[i]]), metric.value(m.terms[terms[j]])
+		vi, vj := values[terms[i]], values[terms[j]]
 		if vi != vj {
 			return vi > vj
 		}
@@ -80,8 +85,9 @@ func (m *Model) ranks(metric RankMetric, dense bool) map[string]float64 {
 		term string
 		v    float64
 	}
-	items := make([]tv, 0, len(m.terms))
-	for t, st := range m.terms {
+	items := make([]tv, 0, len(m.order))
+	for _, t := range m.order {
+		st, _ := m.lookup(t)
 		items = append(items, tv{t, metric.value(st)})
 	}
 	sort.Slice(items, func(i, j int) bool {
