@@ -7,7 +7,10 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet clean
+# Budget for each fuzz target in fuzz-smoke; CI keeps it short.
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench vet lint fuzz-smoke ci clean
 
 all: build test
 
@@ -34,6 +37,25 @@ bench-all:
 
 vet:
 	$(GO) vet ./...
+
+# repolint enforces the determinism/concurrency invariants (randomness
+# via internal/randx, no wall clock on golden paths, no map-order
+# leaks, fan-out through internal/parallel, no locks by value). Zero
+# unsuppressed findings is the bar; suppressions need a reason.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
+# Short-budget fuzz pass over the parser-shaped attack surfaces:
+# tokenization, stemming, and the two model readers. Each target gets
+# FUZZTIME; failures reproduce with `go test -fuzz` on the package.
+fuzz-smoke:
+	$(GO) test ./internal/analysis -run xxx -fuzz '^FuzzTokenize$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/analysis -run xxx -fuzz '^FuzzPorter$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/langmodel -run xxx -fuzz '^FuzzRead$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/langmodel -run xxx -fuzz '^FuzzReadBinary$$' -fuzztime=$(FUZZTIME)
+
+# The full local gate: everything CI runs, in the same order.
+ci: build vet lint test race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

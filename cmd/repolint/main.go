@@ -1,0 +1,142 @@
+// Command repolint runs this repository's determinism and concurrency
+// invariant checks (internal/lint) over one or more packages and exits
+// non-zero on unsuppressed findings. It is the machine form of the
+// review rules that keep experiment output bit-reproducible: all
+// randomness through internal/randx, no wall-clock reads on
+// golden-output paths, no map-iteration order leaking into results,
+// all fan-out through internal/parallel, no locks copied by value.
+//
+// Usage:
+//
+//	repolint [flags] [patterns]
+//
+// Patterns follow go-tool conventions relative to the module root:
+// "./..." (default), "./internal/...", or "./cmd/repolint". Flags:
+//
+//	-C dir        module root to lint (default: ".", must contain go.mod)
+//	-json         emit diagnostics as a JSON array instead of text
+//	-list         list registered analyzers and exit
+//	-show-ignored also print suppressed findings (marked "ignored:")
+//	-disable a,b  comma-separated analyzer names to skip
+//
+// Suppress a single finding at its line with a justified directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("C", ".", "module root directory (must contain go.mod)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	showIgnored := fs.Bool("show-ignored", false, "also print suppressed findings")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(*disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := lint.ByName(name); !ok {
+				fmt.Fprintf(stderr, "repolint: unknown analyzer %q\n", name)
+				return 2
+			}
+			skip[name] = true
+		}
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	loadOK := true
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "repolint: %s: type error: %v\n", pkg.PkgPath, terr)
+			loadOK = false
+		}
+	}
+
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Unsuppressed(diags)
+	shown := findings
+	if *showIgnored {
+		shown = diags
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range shown {
+			if d.Suppressed {
+				fmt.Fprintf(stdout, "ignored: %s [%s]\n", d, d.SuppressReason)
+			} else {
+				fmt.Fprintln(stdout, d.String())
+			}
+		}
+	}
+
+	switch {
+	case !loadOK:
+		return 2
+	case len(findings) > 0:
+		if !*asJSON {
+			fmt.Fprintf(stdout, "repolint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	default:
+		return 0
+	}
+}

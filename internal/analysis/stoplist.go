@@ -1,6 +1,9 @@
 package analysis
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // Stoplist is a set of words excluded from indexing. The zero value is an
 // empty (pass-everything) list.
@@ -33,12 +36,14 @@ func (s *Stoplist) Len() int {
 	return len(s.words)
 }
 
-// Words returns the stopwords in unspecified order.
+// Words returns the stopwords in sorted order, so anything serialized
+// from a stoplist (e.g. persisted index headers) is byte-stable.
 func (s *Stoplist) Words() []string {
 	out := make([]string, 0, s.Len())
 	for w := range s.words {
 		out = append(out, w)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// randxPath is the one package allowed to touch math/rand: the
+// repository's seedable randomness layer. Everything else must draw
+// through it so experiments stay bit-reproducible (math/rand's global
+// source is seeded from the clock, and rand.Shuffle et al. change
+// streams between Go releases).
+const randxPath = "repro/internal/randx"
+
+// DirectRand forbids importing math/rand or math/rand/v2 outside
+// internal/randx.
+var DirectRand = &Analyzer{
+	Name: "directrand",
+	Doc: "forbid math/rand imports outside internal/randx; all randomness " +
+		"must flow through seeded randx.Source streams so experiment output " +
+		"is bit-reproducible",
+	Run: runDirectRand,
+}
+
+func runDirectRand(pass *Pass) error {
+	if pkgWithin(pass.Pkg.Path(), randxPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/randx: use a seeded randx.Source so draws are reproducible",
+					path)
+			}
+		}
+	}
+	return nil
+}
+
+// pkgWithin reports whether pkg is root or a package under it.
+func pkgWithin(pkg, root string) bool {
+	return pkg == root || strings.HasPrefix(pkg, root+"/")
+}

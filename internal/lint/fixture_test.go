@@ -1,0 +1,129 @@
+package lint
+
+// Fixture harness: each analyzer has testdata/<analyzer>/<case>
+// directories holding one small package per case. Lines that should be
+// flagged carry a trailing comment of the form
+//
+//	// want `regexp`
+//
+// and the harness fails if any unsuppressed diagnostic has no matching
+// want, or any want goes unmatched — so disabling an analyzer makes
+// its fixtures fail. Expectations that cannot be written inline (the
+// framework's own malformed/unused-directive diagnostics, whose lines
+// already hold a //lint: comment) are passed programmatically as
+// wantAt values.
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantAt is one expected diagnostic: a line and a regexp the message
+// must match.
+type wantAt struct {
+	line int
+	re   string
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// loadFixture parses and type-checks one fixture directory as a
+// package with the given synthetic import path (the analyzers'
+// location-scoped rules key off it).
+func loadFixture(t *testing.T, dir, pkgpath string) *Package {
+	t.Helper()
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkg := &Package{PkgPath: pkgpath, Dir: dir, Fset: fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(pkgpath, fset, files, pkg.Info)
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
+	}
+	return pkg
+}
+
+// collectWants extracts the inline want expectations from a fixture.
+func collectWants(pkg *Package) []wantAt {
+	var wants []wantAt
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := wantRE.FindStringSubmatch(c.Text); m != nil {
+					wants = append(wants, wantAt{
+						line: pkg.Fset.Position(c.Pos()).Line,
+						re:   m[1],
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runCase loads a fixture, runs one analyzer through the full pipeline
+// (including //lint:ignore handling), and checks findings against
+// wants.
+func runCase(t *testing.T, a *Analyzer, fixture, pkgpath string, extra ...wantAt) {
+	t.Helper()
+	pkg := loadFixture(t, filepath.Join("testdata", fixture), pkgpath)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	findings := Unsuppressed(diags)
+	wants := append(collectWants(pkg), extra...)
+
+	matched := make([]bool, len(wants))
+finding:
+	for _, d := range findings {
+		for i, w := range wants {
+			if !matched[i] && w.line == d.Pos.Line && regexp.MustCompile(w.re).MatchString(d.Message) {
+				matched[i] = true
+				continue finding
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic at %s line %d matching %q", fixture, w.line, w.re)
+		}
+	}
+}

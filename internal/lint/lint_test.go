@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Analyzer fixtures: each case is a violation, an allowed/idiomatic
+// form, or a justified suppression. The want expectations live inline
+// in the fixtures, so a disabled or broken analyzer fails its case.
+
+func TestDirectRand(t *testing.T) {
+	runCase(t, DirectRand, "directrand/bad", "repro/internal/sampler")
+	runCase(t, DirectRand, "directrand/allowed", "repro/internal/randx")
+	runCase(t, DirectRand, "directrand/ignored", "repro/internal/legacy")
+}
+
+func TestWallClock(t *testing.T) {
+	runCase(t, WallClock, "wallclock/bad", "repro/internal/metrics")
+	runCase(t, WallClock, "wallclock/allowed", "repro/cmd/bench")
+}
+
+func TestMapOrder(t *testing.T) {
+	runCase(t, MapOrder, "maporder/bad", "repro/internal/orders")
+	runCase(t, MapOrder, "maporder/sorted", "repro/internal/orders")
+	runCase(t, MapOrder, "maporder/ignored", "repro/internal/orders")
+}
+
+func TestBareGoroutine(t *testing.T) {
+	runCase(t, BareGoroutine, "baregoroutine/bad", "repro/internal/svc")
+	runCase(t, BareGoroutine, "baregoroutine/allowed", "repro/internal/parallel")
+	runCase(t, BareGoroutine, "baregoroutine/ignored", "repro/internal/svc")
+}
+
+func TestMutexByValue(t *testing.T) {
+	runCase(t, MutexByValue, "mutexbyvalue/bad", "repro/internal/locks")
+	runCase(t, MutexByValue, "mutexbyvalue/allowed", "repro/internal/locks")
+}
+
+// TestDirectiveHygiene checks the framework's own diagnostics: a
+// reason-less directive is malformed (and suppresses nothing, so the
+// goroutine under it is still reported), and a directive that matches
+// no finding is flagged as stale.
+func TestDirectiveHygiene(t *testing.T) {
+	runCase(t, BareGoroutine, "directive/bad", "repro/internal/dirs",
+		wantAt{line: 9, re: `malformed lint:ignore directive`},
+		wantAt{line: 10, re: `raw go statement outside internal/parallel`},
+		wantAt{line: 15, re: `suppresses nothing`},
+	)
+}
+
+// TestSuppressionRecorded checks that suppressed findings stay visible
+// to drivers (for -show-ignored) with their justification attached.
+func TestSuppressionRecorded(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "baregoroutine", "ignored"), "repro/internal/svc")
+	diags, err := Run([]*Package{pkg}, []*Analyzer{BareGoroutine})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(Unsuppressed(diags)) != 0 {
+		t.Fatalf("want no unsuppressed findings, got %v", Unsuppressed(diags))
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 recorded (suppressed) finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !d.Suppressed || !strings.Contains(d.SuppressReason, "accept loop") {
+		t.Fatalf("suppression not recorded with reason: %+v", d)
+	}
+}
+
+// TestLoaderLocalPackage exercises the module-aware loader on a real
+// package with only stdlib imports.
+func TestLoaderLocalPackage(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.Module != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.Module)
+	}
+	pkgs, err := loader.Load("./internal/randx")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "repro/internal/randx" {
+		t.Fatalf("loaded %v, want repro/internal/randx", pkgs)
+	}
+	if len(pkgs[0].TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := Unsuppressed(diags); len(got) != 0 {
+		t.Fatalf("internal/randx should be clean, got %v", got)
+	}
+}
+
+// TestLoaderResolvesLocalImports loads a package that imports other
+// module packages, forcing the recursive local resolver.
+func TestLoaderResolvesLocalImports(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./internal/summarize")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs[0].TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, ok := ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v", a.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("ByName(nosuch) should fail")
+	}
+}

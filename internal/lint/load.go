@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/langmodel").
+	PkgPath string
+	// Dir is the absolute directory holding the package's sources.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by filename so
+	// analysis order is deterministic.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems. Analysis proceeds
+	// on partial information, but drivers surface these so a broken
+	// tree cannot masquerade as a clean one.
+	TypeErrors []error
+}
+
+// A Loader discovers, parses and type-checks the module's packages
+// using only the standard library. Module-internal imports are
+// resolved by recursively type-checking the imported package from
+// source; standard-library imports go through go/importer's source
+// importer. The Loader caches, so shared dependencies are checked
+// once.
+type Loader struct {
+	// Module is the module path from go.mod ("repro").
+	Module string
+	// Root is the absolute module root directory.
+	Root string
+	Fset *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package // local packages by import path
+	loading map[string]bool     // local import-cycle guard
+}
+
+// NewLoader prepares a Loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from
+	// GOROOT source. With cgo enabled, packages like net pull in
+	// cgo-generated code it cannot see; the pure-Go fallbacks
+	// type-check identically for our purposes.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Module:  mod,
+		Root:    abs,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves patterns to packages. Supported patterns: "./..." (the
+// whole module), "./dir/..." (a subtree), and "./dir" (one package).
+// Directories named testdata or vendor, and those starting with "." or
+// "_", are skipped, as are directories with no non-test Go files.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			if err := l.walk(l.Root, dirSet); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.Root, strings.TrimSuffix(pat, "/..."))
+			if err := l.walk(base, dirSet); err != nil {
+				return nil, err
+			}
+		default:
+			dir := filepath.Join(l.Root, pat)
+			ok, err := hasGoFiles(dir)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("lint: no Go files in %s", dir)
+			}
+			dirSet[dir] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walk adds every package directory under base to dirSet.
+func (l *Loader) walk(base string, dirSet map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if ok {
+			dirSet[path] = true
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if isSourceFile(e) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// loadDir parses and type-checks the package in dir, memoized.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.Module
+	if rel != "." {
+		path = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadLocal(path, dir)
+}
+
+func (l *Loader) loadLocal(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !isSourceFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: l.Fset, Files: files}
+	pkg.Info = &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the (possibly incomplete) package even on error;
+	// errors are already collected via conf.Error.
+	pkg.Types, _ = conf.Check(path, l.Fset, files, pkg.Info)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer so local packages resolve through
+// the Loader and everything else through the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module)))
+		pkg, err := l.loadLocal(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: type-checking %s failed", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for … range m` over a map whose body feeds ordered
+// output — appending to a slice, or writing through an io.Writer-style
+// call — without the keys being sorted afterwards in the same
+// function. Go randomizes map iteration order on purpose, so any such
+// loop perturbs golden output run to run. This is the exact bug class
+// PR 1 fixed in internal/index, where unsorted vocabulary iteration
+// silently reordered selector draws.
+//
+// The collect-then-sort idiom is recognized and allowed: a loop that
+// appends map keys (or values) to a slice is clean when that slice is
+// later passed to a sort.* or slices.Sort* call in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that appends to a slice or writes output " +
+		"without sorting; map order is randomized and would perturb " +
+		"golden results (the PR 1 internal/index bug class)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// All function bodies in the file, so each range statement
+		// can be matched to its innermost enclosing function — the
+		// scope in which a later sort call makes the loop clean.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapExpr(pass, rs.X) {
+				return true
+			}
+			scope := enclosingBody(bodies, rs)
+			for _, sink := range findOrderSinks(pass, rs.Body) {
+				if sink.obj != nil && sortedInScope(pass, scope, sink.obj) {
+					continue // collect-then-sort idiom
+				}
+				if sink.obj != nil {
+					pass.Reportf(sink.pos,
+						"append to %q inside range over map: iteration order is randomized; sort the keys first (or sort %q before use)",
+						sink.obj.Name(), sink.obj.Name())
+				} else {
+					pass.Reportf(sink.pos,
+						"write to output inside range over map: iteration order is randomized; iterate sorted keys instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapExpr(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderSink is one order-sensitive effect inside a map-range body:
+// either an append to a slice (obj identifies the slice) or a write to
+// an output stream (obj nil).
+type orderSink struct {
+	pos token.Pos
+	obj types.Object
+}
+
+// findOrderSinks walks a map-range body for appends and writer calls.
+func findOrderSinks(pass *Pass, body *ast.BlockStmt) []orderSink {
+	var sinks []orderSink
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(stmt.Lhs) {
+					continue
+				}
+				if id, ok := stmt.Lhs[i].(*ast.Ident); ok {
+					sinks = append(sinks, orderSink{pos: stmt.Pos(), obj: objectOf(pass, id)})
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputWrite(pass, stmt) {
+				sinks = append(sinks, orderSink{pos: stmt.Pos()})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+func objectOf(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := objectOf(pass, id).(*types.Builtin)
+	return isBuiltin
+}
+
+// isOutputWrite recognizes fmt.Fprint* calls and Write/WriteString/
+// WriteByte/WriteRune method calls — the idioms that stream bytes to
+// an io.Writer or builder.
+func isOutputWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Method call (not a package selector like pkg.Write).
+		if _, ok := pass.Info.Selections[sel]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedInScope reports whether obj is passed to a sort.* or
+// slices.Sort* call anywhere in body.
+func sortedInScope(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && !(pkg == "slices" && strings.HasPrefix(fn.Name(), "Sort")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && objectOf(pass, id) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// enclosingBody returns the innermost function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncLockTypes are the sync types whose zero-value identity matters:
+// copying one forks its internal state, so a copy silently stops
+// synchronizing with the original.
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Pool":      true,
+	"Map":       true,
+}
+
+// MutexByValue is a copylocks-lite: it flags function parameters and
+// receivers that take a sync lock type — or a struct (transitively)
+// containing one — by value. go vet's copylocks catches call sites;
+// this catches the declaration itself, where the fix belongs.
+var MutexByValue = &Analyzer{
+	Name: "mutexbyvalue",
+	Doc: "flag parameters and receivers that pass sync.Mutex (or a type " +
+		"containing one) by value; the copy synchronizes nothing",
+	Run: runMutexByValue,
+}
+
+func runMutexByValue(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					checkLockFields(pass, node.Recv.List, "receiver")
+				}
+			case *ast.FuncType:
+				if node.Params != nil {
+					checkLockFields(pass, node.Params.List, "parameter")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLockFields(pass *Pass, fields []*ast.Field, kind string) {
+	for _, field := range fields {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if name := lockTypeIn(tv.Type, make(map[types.Type]bool)); name != "" {
+			pass.Reportf(field.Pos(),
+				"%s passes %s by value (contains sync.%s); use a pointer — the copy synchronizes nothing",
+				kind, tv.Type.String(), name)
+		}
+	}
+}
+
+// lockTypeIn returns the name of the sync lock type contained by value
+// in t (directly, via struct fields, or via array elements), or "".
+func lockTypeIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		if obj := tt.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return obj.Name()
+		}
+		return lockTypeIn(tt.Underlying(), seen)
+	case *types.Alias:
+		return lockTypeIn(types.Unalias(tt), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if name := lockTypeIn(tt.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockTypeIn(tt.Elem(), seen)
+	}
+	return ""
+}

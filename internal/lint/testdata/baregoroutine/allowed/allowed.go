@@ -1,0 +1,13 @@
+// The pool package itself (loaded as repro/internal/parallel) is the
+// one place goroutines are spawned.
+package parallel
+
+// pump feeds work indexes to workers.
+func pump(n int, next chan<- int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+}

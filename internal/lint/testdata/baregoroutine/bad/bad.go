@@ -1,0 +1,10 @@
+// A raw goroutine outside internal/parallel: unbounded, unordered
+// fan-out the pool was built to prevent.
+package svc
+
+// SpawnAll fires one goroutine per task with no cap and no ordering.
+func SpawnAll(tasks []func()) {
+	for _, task := range tasks {
+		go task() // want `raw go statement outside internal/parallel`
+	}
+}

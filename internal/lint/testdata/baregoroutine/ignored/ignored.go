@@ -1,0 +1,9 @@
+// A justified suppression: a server's accept loop is a lifecycle
+// goroutine, not fan-out.
+package svc
+
+// Serve runs accept until the listener closes.
+func Serve(accept func()) {
+	//lint:ignore baregoroutine accept loop lives for the server, joined on Close; not pool fan-out
+	go accept()
+}

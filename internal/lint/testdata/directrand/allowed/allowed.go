@@ -1,0 +1,11 @@
+// The randx package itself (synthetic import path repro/internal/randx
+// in the test) may import math/rand — e.g. to wrap it behind a seeded
+// Source.
+package randx
+
+import "math/rand"
+
+// Wrap adapts a seeded stdlib source.
+func Wrap(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,11 @@
+// A sampler reaching for math/rand directly: draws would come from an
+// unseeded (clock-seeded) global stream and the experiment would stop
+// being reproducible.
+package sampler
+
+import "math/rand" // want `import of math/rand outside internal/randx`
+
+// Pick draws an unreproducible index.
+func Pick(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,24 @@
+// Map iteration feeding ordered output with no sort: both the append
+// and the writer stream depend on Go's randomized map order.
+package orders
+
+import (
+	"fmt"
+	"io"
+)
+
+// Keys returns map keys in random order — the PR 1 index bug class.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+	}
+	return out
+}
+
+// Dump streams entries in random order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `write to output inside range over map`
+	}
+}

@@ -1,0 +1,27 @@
+// The collect-then-sort idiom: appending map keys is clean when the
+// slice is sorted in the same function before use.
+package orders
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys is the canonical deterministic form.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DumpSorted iterates an already-sorted key slice; the map itself is
+// only indexed, never ranged, inside the output loop.
+func DumpSorted(w io.Writer, m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,29 @@
+// The pointer forms share one lock; nothing to flag.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByPointer shares the caller's lock.
+func ByPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Get shares the receiver's lock.
+func (g *guarded) Get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Locker takes the interface, which wraps a pointer.
+func Locker(l sync.Locker) {
+	l.Lock()
+	defer l.Unlock()
+}

@@ -1,0 +1,28 @@
+// Locks passed by value: each call synchronizes against a private copy.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the mutex with the struct.
+func ByValue(g guarded) int { // want `parameter passes .*guarded by value \(contains sync.Mutex\)`
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Get's value receiver copies the mutex on every call.
+func (g guarded) Get() int { // want `receiver passes .*guarded by value \(contains sync.Mutex\)`
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// WaitAll copies a WaitGroup; Wait observes the copy's counter.
+func WaitAll(wg sync.WaitGroup) { // want `parameter passes sync.WaitGroup by value`
+	wg.Wait()
+}

@@ -1,0 +1,12 @@
+// The same calls are fine in cmd/ (the test loads this as
+// repro/cmd/bench): timing for humans is not golden output.
+package bench
+
+import "time"
+
+// Timed reports how long fn took.
+func Timed(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}

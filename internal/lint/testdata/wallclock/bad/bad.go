@@ -1,0 +1,20 @@
+// Wall-clock reads inside a golden-output package (the test loads this
+// as repro/internal/metrics): real time would leak into results.
+package metrics
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `time.Now in golden-output package`
+}
+
+// Elapsed measures real elapsed time.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in golden-output package`
+}
+
+// Fixed is fine: a constant instant, no clock read.
+func Fixed() time.Time {
+	return time.Unix(0, 0)
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockRestricted lists the package subtrees whose output is
+// golden: experiment tables, metric passes, the sampling core and the
+// language-model layer all produce byte-identical results for a given
+// seed, and a wall-clock read anywhere on those paths would leak
+// real time into them (or tempt someone to seed from it). Timing for
+// human consumption belongs in cmd/ and in benchmarks, which stay
+// unrestricted.
+var wallClockRestricted = []string{
+	"repro/internal/experiments",
+	"repro/internal/metrics",
+	"repro/internal/core",
+	"repro/internal/langmodel",
+}
+
+// wallClockForbidden names the time-package functions that read the
+// wall clock or measure elapsed real time.
+var wallClockForbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// WallClock forbids time.Now/time.Since/time.Until inside the
+// golden-output packages.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now, time.Since, time.Until) in " +
+		"golden-output packages (internal/experiments, internal/metrics, " +
+		"internal/core, internal/langmodel); timing belongs in cmd/ and benchmarks",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	restricted := false
+	for _, root := range wallClockRestricted {
+		if pkgWithin(pass.Pkg.Path(), root) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockForbidden[sel.Sel.Name] {
+				return true
+			}
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					pass.Reportf(sel.Pos(),
+						"time.%s in golden-output package %s: results must not depend on the wall clock",
+						sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -74,6 +74,7 @@ func Serve(db core.Database, addr string) (*Server, error) {
 	}
 	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
+	//lint:ignore baregoroutine accept loop lives for the server, not a bounded fan-out; Close joins it via wg
 	go s.acceptLoop()
 	return s, nil
 }
@@ -115,6 +116,7 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		//lint:ignore baregoroutine one handler per live connection is the server's lifecycle, not pool fan-out; Close joins via wg
 		go s.handle(conn)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/langmodel"
 	"repro/internal/netsearch"
+	"repro/internal/parallel"
 	"repro/internal/selection"
 	"repro/internal/store"
 	"repro/internal/summarize"
@@ -309,38 +310,18 @@ func (s *Service) SampleAll(opts SampleOptions, parallelism int) (map[string]DBS
 	s.mu.RUnlock()
 	sort.Strings(names)
 
-	type outcome struct {
-		name   string
-		status DBStatus
-		err    error
-	}
-	sem := make(chan struct{}, parallelism)
-	results := make(chan outcome, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o := opts.withDefaults()
-			o.Seed += uint64(i) * 7919
-			st, err := s.Sample(name, o)
-			results <- outcome{name: name, status: st, err: err}
-		}(i, name)
-	}
-	wg.Wait()
-	close(results)
-
+	// The pool caps concurrency and keeps the returned error
+	// deterministic (lowest name in sorted order, not first to fail).
+	sts, err := parallel.Map(parallelism, names, func(i int, name string) (DBStatus, error) {
+		o := opts.withDefaults()
+		o.Seed += uint64(i) * 7919
+		return s.Sample(name, o)
+	})
 	statuses := make(map[string]DBStatus, len(names))
-	var firstErr error
-	for o := range results {
-		statuses[o.name] = o.status
-		if o.err != nil && firstErr == nil {
-			firstErr = o.err
-		}
+	for i, name := range names {
+		statuses[name] = sts[i]
 	}
-	return statuses, firstErr
+	return statuses, err
 }
 
 // RankedDB is one row of a selection ranking.
@@ -369,31 +350,23 @@ func (s *Service) Rank(query string, algName string, k int) ([]RankedDB, error) 
 		return nil, errors.New("service: query has no index terms")
 	}
 
+	// Deterministic input order: collect the names with models, sort,
+	// then gather the models in that order.
 	s.mu.RLock()
-	names := make([]string, 0, len(s.entries))
-	models := make([]*langmodel.Model, 0, len(s.entries))
-	for _, e := range s.entries {
-		if e.model == nil {
-			continue
+	sortedNames := make([]string, 0, len(s.entries))
+	for name, e := range s.entries {
+		if e.model != nil {
+			sortedNames = append(sortedNames, name)
 		}
-		names = append(names, e.name)
-		models = append(models, e.model)
+	}
+	sort.Strings(sortedNames)
+	sortedModels := make([]*langmodel.Model, len(sortedNames))
+	for i, name := range sortedNames {
+		sortedModels[i] = s.entries[name].model
 	}
 	s.mu.RUnlock()
-	if len(models) == 0 {
+	if len(sortedModels) == 0 {
 		return nil, errors.New("service: no databases have learned models yet")
-	}
-	// Deterministic input order.
-	idx := make([]int, len(names))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return names[idx[i]] < names[idx[j]] })
-	sortedModels := make([]*langmodel.Model, len(idx))
-	sortedNames := make([]string, len(idx))
-	for i, id := range idx {
-		sortedModels[i] = models[id]
-		sortedNames[i] = names[id]
 	}
 
 	ranked := selection.Rank(alg, terms, sortedModels)

@@ -46,6 +46,7 @@ func ListenAndServe(p Provider, addr string) (*Server, error) {
 	}
 	s := &Server{provider: p, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
+	//lint:ignore baregoroutine accept loop lives for the server, not a bounded fan-out; Close joins it via wg
 	go s.acceptLoop()
 	return s, nil
 }
@@ -86,6 +87,7 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		//lint:ignore baregoroutine one handler per live connection is the server's lifecycle, not pool fan-out; Close joins via wg
 		go s.handle(conn)
 	}
 }
