@@ -10,7 +10,7 @@ GO ?= go
 # Budget for each fuzz target in fuzz-smoke; CI keeps it short.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench vet lint fuzz-smoke ci clean
+.PHONY: all build test race bench vet lint chaos fuzz-smoke ci clean
 
 all: build test
 
@@ -45,6 +45,13 @@ vet:
 lint:
 	$(GO) run ./cmd/repolint ./...
 
+# Chaos suite: deterministic fault injection (internal/faulty) driving
+# the sampling fabric end to end — injected transport faults, truncated
+# frames, server restarts, tripped circuit breakers — always under the
+# race detector. Every fault pattern is seeded, so failures replay.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/netsearch ./internal/service ./internal/faulty
+
 # Short-budget fuzz pass over the parser-shaped attack surfaces:
 # tokenization, stemming, and the two model readers. Each target gets
 # FUZZTIME; failures reproduce with `go test -fuzz` on the package.
@@ -55,7 +62,7 @@ fuzz-smoke:
 	$(GO) test ./internal/langmodel -run xxx -fuzz '^FuzzReadBinary$$' -fuzztime=$(FUZZTIME)
 
 # The full local gate: everything CI runs, in the same order.
-ci: build vet lint test race fuzz-smoke
+ci: build vet lint test race chaos fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -10,13 +10,14 @@
 //
 //	qbsample -corpus CACM [-docs 300] [-per-query 4] [-strategy random-llm]
 //	         [-seed 1] [-scale 1] [-out lm.json] [-tsv] [-converge 0.005]
-//	qbsample -addr 127.0.0.1:7070 -first apple [-docs 300] ...
+//	qbsample -addr 127.0.0.1:7070 -first apple [-docs 300] [-timeout 10s] [-retries 3] ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -39,6 +40,8 @@ func main() {
 	tsv := flag.Bool("tsv", false, "dump learned model as TSV to stdout")
 	converge := flag.Float64("converge", 0, "stop when rdiff over two 50-doc spans falls below this (0 = fixed budget)")
 	verbose := flag.Bool("verbose", false, "trace every query to stderr")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline for -addr databases (0 = none)")
+	retries := flag.Int("retries", netsearch.DefaultAttempts, "attempts per remote operation, redialing with backoff in between (1 = no retry)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -90,7 +93,10 @@ func main() {
 		if *first == "" {
 			fail("-addr requires -first (an initial query term)")
 		}
-		client, err := netsearch.Dial(*addr)
+		client, err := netsearch.DialWith(*addr, netsearch.Options{
+			Timeout: *timeout,
+			Retry:   netsearch.RetryPolicy{Attempts: *retries, Seed: *seed},
+		})
 		if err != nil {
 			fail("%v", err)
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	selectd [-addr :8080] [-store ./models] [-demo n]
+//	selectd [-addr :8080] [-store ./models] [-demo n] [-timeout 10s] [-retries 3]
 //
 // With -demo n, selectd also spins up n in-process demo databases (served
 // over netsearch, as real remote databases would be), registers them, and
@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
@@ -37,6 +38,8 @@ func main() {
 	demo := flag.Int("demo", 0, "spin up this many demo databases and sample them")
 	demoDocs := flag.Int("demo-docs", 600, "documents per demo database")
 	sampleDocs := flag.Int("demo-sample", 150, "sampling budget per demo database")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline for remote databases (0 = none)")
+	retries := flag.Int("retries", netsearch.DefaultAttempts, "attempts per remote operation, redialing with backoff in between (1 = no retry)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -56,6 +59,10 @@ func main() {
 
 	svc := service.New(analysis.Database(), st)
 	defer svc.Close()
+	svc.SetDialOptions(netsearch.Options{
+		Timeout: *timeout,
+		Retry:   netsearch.RetryPolicy{Attempts: *retries},
+	})
 
 	if *demo > 0 {
 		fmt.Printf("building %d demo databases...\n", *demo)

@@ -17,6 +17,13 @@
 //	{"ids":[3,9,17,2]}
 //	{"doc":{"ID":17,"Title":"...","Text":"..."}}
 //	{"error":"no document with id 99"}
+//
+// The client side is fault tolerant: every operation can carry a deadline,
+// any encode/decode failure marks the connection broken (a half-written
+// frame must never be reused — the next response would be misaligned with
+// the next request), and broken connections are transparently redialed
+// with capped exponential backoff. All three operations are idempotent
+// reads, which is what makes retrying them safe.
 package netsearch
 
 import (
@@ -26,9 +33,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/randx"
 )
 
 // request is one wire request.
@@ -171,34 +180,195 @@ func (s *Server) dispatch(req request) response {
 	}
 }
 
+// Options configure a Client's fault tolerance. The zero value means no
+// deadlines and the default retry policy.
+type Options struct {
+	// Timeout bounds each operation's time on the wire (send + receive).
+	// An expired deadline is a transport error: the connection is marked
+	// broken and the operation is retried on a fresh one. Zero means no
+	// deadline.
+	Timeout time.Duration
+	// Retry governs redial-with-backoff after transport errors.
+	Retry RetryPolicy
+	// DialFunc replaces the plain TCP dial — the hook the fault-injection
+	// harness (internal/faulty) uses to wrap connections. nil means
+	// net.Dial("tcp", addr).
+	DialFunc func(addr string) (net.Conn, error)
+	// SleepFunc replaces time.Sleep between retry attempts so tests can
+	// count backoffs instead of waiting them out. nil means time.Sleep.
+	SleepFunc func(time.Duration)
+}
+
+// ClientStats counts a client's brushes with the network.
+type ClientStats struct {
+	// Faults is the number of transport errors observed.
+	Faults int
+	// Redials is the number of successful reconnections.
+	Redials int
+	// Retries is the number of extra attempts spent (a single operation
+	// that succeeded on its third try contributes two).
+	Retries int
+}
+
 // Client is a core.Database backed by a remote netsearch server. It is
 // safe for concurrent use; requests on one connection are serialized.
+// Transport failures are retried per its Options; server-reported errors
+// (an unknown document id, say) are returned as-is, because the connection
+// is still healthy and a retry would return the same answer.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	conn   net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
+	broken bool
+	closed bool
+	rng    *randx.Source // jitter stream; guarded by mu
+	stats  ClientStats
 }
 
-// Dial connects to a netsearch server.
+// Dial connects to a netsearch server with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("netsearch: dial %s: %w", addr, err)
-	}
-	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
-	}, nil
+	return DialWith(addr, Options{})
 }
 
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// DialWith connects to a netsearch server. The initial dial is a single
+// eager attempt so misconfiguration fails fast; once connected, transport
+// errors are retried per opts.Retry.
+func DialWith(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		addr: addr,
+		opts: opts,
+		rng:  randx.New(opts.Retry.withDefaults().Seed),
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.attach(conn)
+	return c, nil
+}
+
+// dial opens a new connection to the server.
+func (c *Client) dial() (net.Conn, error) {
+	dialFn := c.opts.DialFunc
+	if dialFn == nil {
+		dialFn = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dialFn(c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsearch: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+// attach adopts conn as the client's transport. Caller holds mu (or is the
+// constructor).
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	c.broken = false
+}
+
+// Close terminates the connection. A closed client stays closed: it will
+// not redial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
+
+// Broken reports whether the last operation exhausted its retries and left
+// the client without a usable connection. The next operation redials; a
+// registry that caches clients (service.connect) can also check this and
+// replace the client outright.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Stats returns a snapshot of the client's fault counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.opts.SleepFunc != nil {
+		c.opts.SleepFunc(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// remoteError marks a server-reported application error: the frame was
+// decoded in full, the transport is intact, and retrying would only repeat
+// the same answer.
+type remoteError struct{ msg string }
+
+func (e remoteError) Error() string { return e.msg }
 
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return response{}, fmt.Errorf("netsearch: %s %s: client is closed", req.Op, c.addr)
+	}
+	policy := c.opts.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			c.sleep(policy.Delay(attempt-1, c.rng))
+		}
+		if c.broken || c.conn == nil {
+			conn, err := c.dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if c.conn != nil {
+				c.conn.Close()
+			}
+			c.attach(conn)
+			c.stats.Redials++
+		}
+		resp, err := c.do(req)
+		if err == nil {
+			return resp, nil
+		}
+		var rerr remoteError
+		if errors.As(err, &rerr) {
+			return response{}, errors.New(rerr.msg)
+		}
+		// Transport error: the frame may be half-written or half-read, so
+		// responses on this connection can no longer be matched to
+		// requests. Never reuse it.
+		c.stats.Faults++
+		c.broken = true
+		c.conn.Close()
+		lastErr = err
+	}
+	return response{}, fmt.Errorf("netsearch: %s %s failed after %d attempts: %w",
+		req.Op, c.addr, policy.Attempts, lastErr)
+}
+
+// do performs one request/response exchange on the current connection.
+// Caller holds mu.
+func (c *Client) do(req request) (response, error) {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("netsearch: send: %w", err)
 	}
@@ -207,7 +377,7 @@ func (c *Client) roundTrip(req request) (response, error) {
 		return response{}, fmt.Errorf("netsearch: receive: %w", err)
 	}
 	if resp.Error != "" {
-		return response{}, errors.New(resp.Error)
+		return response{}, remoteError{resp.Error}
 	}
 	return resp, nil
 }

@@ -1,0 +1,65 @@
+package netsearch
+
+import (
+	"time"
+
+	"repro/internal/randx"
+)
+
+// Defaults for RetryPolicy. Three attempts with a 50ms base delay ride out
+// a server restart or a dropped connection without stalling an interactive
+// caller for more than a few hundred milliseconds.
+const (
+	DefaultAttempts  = 3
+	DefaultBaseDelay = 50 * time.Millisecond
+	DefaultMaxDelay  = 2 * time.Second
+)
+
+// RetryPolicy governs how a Client retries an operation after a transport
+// error: capped exponential backoff with deterministic jitter. The jitter
+// stream is drawn from internal/randx, so two clients built with the same
+// seed sleep the exact same schedule — retry timing is as reproducible as
+// everything else in this repository.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation, including the
+	// first. Zero means DefaultAttempts; 1 disables retrying.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles with
+	// every further retry. Zero means DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Seed seeds the jitter stream. Zero means 1.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number retry (0-based): the
+// capped exponential BaseDelay<<retry scaled into [1/2, 1) by a jitter
+// factor drawn from rng. Jitter keeps a fleet of clients that broke on the
+// same server event from redialing it in lockstep.
+func (p RetryPolicy) Delay(retry int, rng *randx.Source) time.Duration {
+	p = p.withDefaults()
+	d := p.MaxDelay
+	if retry < 32 {
+		if exp := p.BaseDelay << uint(retry); exp > 0 && exp < p.MaxDelay {
+			d = exp
+		}
+	}
+	return d/2 + time.Duration(rng.Float64()*float64(d/2))
+}

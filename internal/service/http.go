@@ -3,8 +3,10 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 )
@@ -89,11 +91,17 @@ func (s *Service) handleDatabases(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleDatabase routes /databases/{name}[/sample|/summary].
+// handleDatabase routes /databases/{name}[/sample|/summary]. Routing
+// works on the escaped path so a database name containing "/" (sent as
+// %2F) stays one segment; the name is unescaped before lookup.
 func (s *Service) handleDatabase(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/databases/")
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/databases/")
 	parts := strings.SplitN(rest, "/", 2)
-	name := parts[0]
+	name, err := url.PathUnescape(parts[0])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad database name %q: %w", parts[0], err))
+		return
+	}
 	if name == "" {
 		writeErr(w, http.StatusNotFound, errors.New("missing database name"))
 		return
@@ -136,9 +144,17 @@ func (s *Service) handleDatabase(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// statusFor distinguishes the caller's mistakes (400), unknown names
+// (404), and genuine upstream failures (502). Before ErrInvalid existed,
+// every non-404 error — including an unknown metric name — was blamed on
+// the remote database with a 502.
 func statusFor(err error) int {
-	if errors.Is(err, ErrUnknownDatabase) {
+	switch {
+	case errors.Is(err, ErrUnknownDatabase):
 		return http.StatusNotFound
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadGateway
 	}
-	return http.StatusBadGateway
 }

@@ -174,6 +174,54 @@ func TestHTTPRegisterAndDelete(t *testing.T) {
 	}
 }
 
+func TestHTTPEscapedDatabaseName(t *testing.T) {
+	ts, dbs := httpFixture(t)
+	// A name containing "/" and " " is legal in the registry; the HTTP
+	// layer must route its escaped form back to the same entry.
+	resp := postJSON(t, ts.URL+"/databases", map[string]string{"name": "team/db one", "addr": "127.0.0.1:1"}, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/databases/team%2Fdb%20one", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete escaped name: status %d", dresp.StatusCode)
+	}
+	var statuses []DBStatus
+	getJSON(t, ts.URL+"/databases", &statuses)
+	if len(statuses) != len(dbs) {
+		t.Errorf("escaped delete removed the wrong entry: %d databases left, want %d", len(statuses), len(dbs))
+	}
+}
+
+func TestHTTPValidationErrorsAre400(t *testing.T) {
+	ts, dbs := httpFixture(t)
+	// An unsampled database's summary is the caller's mistake (400), not
+	// an upstream failure (502).
+	resp := getJSON(t, fmt.Sprintf("%s/databases/%s/summary?metric=df", ts.URL, dbs[0].Name), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("summary before sampling: status %d, want 400", resp.StatusCode)
+	}
+	postJSON(t, fmt.Sprintf("%s/databases/%s/sample", ts.URL, dbs[0].Name), SampleOptions{Docs: 30}, nil)
+	resp = getJSON(t, fmt.Sprintf("%s/databases/%s/summary?metric=bogus", ts.URL, dbs[0].Name), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown metric: status %d, want 400", resp.StatusCode)
+	}
+	// A genuinely unreachable upstream is still a 502.
+	postJSON(t, ts.URL+"/databases", map[string]string{"name": "down", "addr": "127.0.0.1:1"}, nil)
+	resp = postJSON(t, ts.URL+"/databases/down/sample", nil, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unreachable database sample: status %d, want 502", resp.StatusCode)
+	}
+}
+
 func TestHTTPErrors(t *testing.T) {
 	ts, _ := httpFixture(t)
 	cases := []struct {

@@ -29,6 +29,20 @@ import (
 // ErrUnknownDatabase is returned for operations on unregistered names.
 var ErrUnknownDatabase = errors.New("service: unknown database")
 
+// ErrInvalid marks arguments the caller got wrong (unknown metric or
+// algorithm, unusable query). The HTTP layer maps it to 400 rather than
+// blaming the upstream database with a 502.
+var ErrInvalid = errors.New("invalid argument")
+
+// ErrCircuitOpen is reported by SampleAll for databases whose circuit
+// breaker has tripped. A direct Sample call is the half-open probe: it
+// always attempts the database and closes the circuit on success.
+var ErrCircuitOpen = errors.New("service: circuit open")
+
+// DefaultTripThreshold is the number of consecutive sampling failures
+// after which a database's circuit breaker opens.
+const DefaultTripThreshold = 3
+
 // DBStatus describes one registered database.
 type DBStatus struct {
 	// Name is the registry key.
@@ -44,6 +58,11 @@ type DBStatus struct {
 	Queries     int `json:"queries"`
 	// LastError records the most recent sampling failure, if any.
 	LastError string `json:"last_error,omitempty"`
+	// ConsecutiveFailures counts sampling failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// CircuitOpen reports that the breaker has tripped: SampleAll skips
+	// this database until a direct Sample succeeds.
+	CircuitOpen bool `json:"circuit_open,omitempty"`
 }
 
 // SampleOptions parameterize a sampling run for one database.
@@ -78,8 +97,15 @@ func (o SampleOptions) withDefaults() SampleOptions {
 
 // entry is one registered database.
 type entry struct {
-	name    string
-	addr    string
+	name string
+	addr string
+
+	// runMu serializes sampling runs on this entry. Without it, two
+	// concurrent Sample("x") calls would interleave their lastRun/model
+	// writes and corrupt a later Extend. It is always acquired before the
+	// service mutex, never while holding it.
+	runMu sync.Mutex
+
 	db      core.Database // non-nil once connected (or local)
 	model   *langmodel.Model
 	lastRun *core.Result // raw result, kept so Extend can resume
@@ -92,8 +118,10 @@ type Service struct {
 	analyzer analysis.Analyzer
 	st       *store.Store // optional persistence
 
-	mu      sync.RWMutex
-	entries map[string]*entry
+	mu        sync.RWMutex
+	entries   map[string]*entry
+	dialOpts  netsearch.Options
+	tripAfter int
 }
 
 // New returns a service that normalizes learned models with the given
@@ -101,10 +129,29 @@ type Service struct {
 // stored models are loaded for databases as they are registered.
 func New(an analysis.Analyzer, st *store.Store) *Service {
 	return &Service{
-		analyzer: an,
-		st:       st,
-		entries:  make(map[string]*entry),
+		analyzer:  an,
+		st:        st,
+		entries:   make(map[string]*entry),
+		tripAfter: DefaultTripThreshold,
 	}
+}
+
+// SetDialOptions configures the fault tolerance (per-operation deadline,
+// retry/backoff policy) applied to connections dialed to remote databases
+// from now on; already-established connections keep their options.
+func (s *Service) SetDialOptions(opts netsearch.Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dialOpts = opts
+}
+
+// SetTripThreshold sets how many consecutive sampling failures open a
+// database's circuit breaker (default DefaultTripThreshold); n <= 0
+// disables the breaker.
+func (s *Service) SetTripThreshold(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tripAfter = n
 }
 
 // Register adds a remote database reachable at a netsearch address. The
@@ -187,16 +234,21 @@ func (s *Service) Databases() []DBStatus {
 	return out
 }
 
-// connect returns the entry's database, dialing remote ones on demand.
-// Caller holds mu.
+// connect returns the entry's database, dialing remote ones on demand. A
+// cached client that exhausted its retries is discarded and replaced — a
+// dead connection must not poison the entry forever. Caller holds mu.
 func (s *Service) connect(e *entry) (core.Database, error) {
+	if c, ok := e.db.(*netsearch.Client); ok && c.Broken() {
+		c.Close()
+		e.db = nil
+	}
 	if e.db != nil {
 		return e.db, nil
 	}
 	if e.addr == "" {
 		return nil, fmt.Errorf("service: database %q has no address", e.name)
 	}
-	client, err := netsearch.Dial(e.addr)
+	client, err := netsearch.DialWith(e.addr, s.dialOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -225,29 +277,48 @@ func (s *Service) initialModel() *langmodel.Model {
 	return union
 }
 
+// recordFailure updates an entry's health counters after a failed connect
+// or sampling run, tripping the circuit breaker once the consecutive
+// failure count reaches the threshold. Caller holds mu.
+func (s *Service) recordFailure(e *entry, err error) {
+	e.stats.LastError = err.Error()
+	e.stats.ConsecutiveFailures++
+	if s.tripAfter > 0 && e.stats.ConsecutiveFailures >= s.tripAfter {
+		e.stats.CircuitOpen = true
+	}
+}
+
 // Sample learns (or re-learns) the language model for one database. The
 // learned model is normalized to the service's analyzer and persisted when
 // a store is configured.
+//
+// Sample always attempts the database, even when its circuit breaker is
+// open — it is the half-open probe that can close the circuit again. Runs
+// on the same database are serialized; runs on different databases
+// proceed concurrently.
 func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	opts = opts.withDefaults()
 
-	s.mu.Lock()
+	s.mu.RLock()
 	e, ok := s.entries[name]
+	s.mu.RUnlock()
 	if !ok {
-		s.mu.Unlock()
 		return DBStatus{}, fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
 	}
+
+	// In-flight guard: one sampling run per entry at a time.
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+
+	s.mu.Lock()
 	db, err := s.connect(e)
 	if err != nil {
-		e.stats.LastError = err.Error()
+		s.recordFailure(e, err)
 		st := e.stats
 		s.mu.Unlock()
 		return st, fmt.Errorf("service: connect %q: %w", name, err)
 	}
 	initial := s.initialModel()
-	s.mu.Unlock()
-
-	s.mu.Lock()
 	prev := e.lastRun
 	s.mu.Unlock()
 
@@ -274,7 +345,7 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
-		e.stats.LastError = err.Error()
+		s.recordFailure(e, err)
 		return e.stats, fmt.Errorf("service: sample %q: %w", name, err)
 	}
 	e.model = res.Learned.Normalize(s.analyzer)
@@ -284,6 +355,8 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	e.stats.SampledDocs = res.Docs
 	e.stats.Queries = res.Queries
 	e.stats.LastError = ""
+	e.stats.ConsecutiveFailures = 0
+	e.stats.CircuitOpen = false
 	if s.st != nil {
 		if err := s.st.Put(name, e.model); err != nil {
 			e.stats.LastError = err.Error()
@@ -295,33 +368,62 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 
 // SampleAll samples every registered database concurrently with the same
 // options (seeds are offset per database so runs stay independent) and
-// returns the per-database statuses keyed by name. Databases that fail
-// keep their previous model; the first error is returned after all
-// sampling finishes.
-func (s *Service) SampleAll(opts SampleOptions, parallelism int) (map[string]DBStatus, error) {
+// returns the per-database statuses keyed by name, plus a map of the
+// databases that failed (nil when everything sampled). One database
+// failing never stops the others; each failure is reported under its own
+// name. Databases whose circuit breaker is open are skipped — their error
+// is ErrCircuitOpen — so a fleet-wide resample does not hammer a peer
+// that is known to be down; a direct Sample remains the probe that can
+// close the circuit.
+func (s *Service) SampleAll(opts SampleOptions, parallelism int) (map[string]DBStatus, map[string]error) {
 	if parallelism < 1 {
 		parallelism = 4
 	}
-	names := make([]string, 0)
 	s.mu.RLock()
-	for name := range s.entries {
+	names := make([]string, 0, len(s.entries))
+	tripped := make(map[string]bool)
+	for name, e := range s.entries {
 		names = append(names, name)
+		if e.stats.CircuitOpen {
+			tripped[name] = true
+		}
 	}
 	s.mu.RUnlock()
 	sort.Strings(names)
 
-	// The pool caps concurrency and keeps the returned error
-	// deterministic (lowest name in sorted order, not first to fail).
-	sts, err := parallel.Map(parallelism, names, func(i int, name string) (DBStatus, error) {
+	type outcome struct {
+		st  DBStatus
+		err error
+	}
+	// The pool caps concurrency; collecting outcomes by input order keeps
+	// the maps deterministic regardless of completion order.
+	results, _ := parallel.Map(parallelism, names, func(i int, name string) (outcome, error) {
+		if tripped[name] {
+			s.mu.RLock()
+			var st DBStatus
+			if e, ok := s.entries[name]; ok {
+				st = e.stats
+			}
+			s.mu.RUnlock()
+			return outcome{st, fmt.Errorf("service: %q skipped: %w", name, ErrCircuitOpen)}, nil
+		}
 		o := opts.withDefaults()
 		o.Seed += uint64(i) * 7919
-		return s.Sample(name, o)
+		st, err := s.Sample(name, o)
+		return outcome{st, err}, nil
 	})
 	statuses := make(map[string]DBStatus, len(names))
+	var errs map[string]error
 	for i, name := range names {
-		statuses[name] = sts[i]
+		statuses[name] = results[i].st
+		if results[i].err != nil {
+			if errs == nil {
+				errs = make(map[string]error)
+			}
+			errs[name] = results[i].err
+		}
 	}
-	return statuses, err
+	return statuses, errs
 }
 
 // RankedDB is one row of a selection ranking.
@@ -343,11 +445,11 @@ func (s *Service) Rank(query string, algName string, k int) ([]RankedDB, error) 
 	case "gloss-ind":
 		alg = selection.Gloss{Estimator: selection.GlossInd}
 	default:
-		return nil, fmt.Errorf("service: unknown algorithm %q", algName)
+		return nil, fmt.Errorf("service: unknown algorithm %q: %w", algName, ErrInvalid)
 	}
 	terms := s.analyzer.Tokens(query)
 	if len(terms) == 0 {
-		return nil, errors.New("service: query has no index terms")
+		return nil, fmt.Errorf("service: query has no index terms: %w", ErrInvalid)
 	}
 
 	// Deterministic input order: collect the names with models, sort,
@@ -392,7 +494,7 @@ func (s *Service) Summary(name string, metricName string, k int) ([]summarize.Ro
 	case "", "avg-tf", "avgtf":
 		metric = langmodel.ByAvgTF
 	default:
-		return nil, fmt.Errorf("service: unknown metric %q", metricName)
+		return nil, fmt.Errorf("service: unknown metric %q: %w", metricName, ErrInvalid)
 	}
 	if k <= 0 {
 		k = 20
@@ -408,7 +510,7 @@ func (s *Service) Summary(name string, metricName string, k int) ([]summarize.Ro
 		return nil, fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
 	}
 	if m == nil {
-		return nil, fmt.Errorf("service: database %q has no learned model", name)
+		return nil, fmt.Errorf("service: database %q has no learned model: %w", name, ErrInvalid)
 	}
 	return summarize.Top(m, metric, k, analysis.InqueryStoplist()), nil
 }

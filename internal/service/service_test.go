@@ -234,9 +234,9 @@ func TestSampleConnectFailureRecorded(t *testing.T) {
 
 func TestSampleAll(t *testing.T) {
 	svc, dbs := fixture(t, nil)
-	statuses, err := svc.SampleAll(SampleOptions{Docs: 40, Seed: 3}, 2)
-	if err != nil {
-		t.Fatal(err)
+	statuses, errs := svc.SampleAll(SampleOptions{Docs: 40, Seed: 3}, 2)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
 	}
 	if len(statuses) != len(dbs) {
 		t.Fatalf("got %d statuses", len(statuses))
@@ -258,9 +258,12 @@ func TestSampleAllPartialFailure(t *testing.T) {
 	if err := svc.Register("down", "127.0.0.1:1"); err != nil {
 		t.Fatal(err)
 	}
-	statuses, err := svc.SampleAll(SampleOptions{Docs: 30}, 3)
-	if err == nil {
+	statuses, errs := svc.SampleAll(SampleOptions{Docs: 30}, 3)
+	if errs["down"] == nil {
 		t.Fatal("expected an error from the unreachable database")
+	}
+	if len(errs) != 1 {
+		t.Errorf("healthy databases reported errors: %v", errs)
 	}
 	// The healthy databases were still sampled.
 	for _, db := range dbs {

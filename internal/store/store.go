@@ -77,6 +77,15 @@ func (s *Store) Put(name string, m *langmodel.Model) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: write %s: %w", name, err)
 	}
+	// The temp file's bytes must be on stable storage before the rename
+	// publishes it, or a crash could leave the final name pointing at
+	// truncated data — exactly the torn model the atomic rename promises
+	// to rule out.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: sync %s: %w", name, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: close %s: %w", name, err)
@@ -84,6 +93,21 @@ func (s *Store) Put(name string, m *langmodel.Model) error {
 	if err := os.Rename(tmpName, s.path(name)); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: rename %s: %w", name, err)
+	}
+	// And the rename itself must be durable: fsync the directory so the
+	// new entry survives a crash too.
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory, making recent renames in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
 	}
 	return nil
 }
