@@ -10,7 +10,19 @@ GO ?= go
 # Budget for each fuzz target in fuzz-smoke; CI keeps it short.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench vet lint chaos fuzz-smoke ci clean
+# Tier-1 benchmark set for the regression gate (see bench-check).
+BENCH_PATTERN := SamplerThroughput|SuiteBaselines
+# Repeated runs per benchmark; benchdiff keeps the median, which is what
+# makes a 25% threshold usable on noisy shared CI machines.
+BENCH_COUNT ?= 5
+BENCH_OUT ?= BENCH_current.json
+
+# Ratcheted statement-coverage floor over ./internal/... — raise it as
+# coverage grows; never lower it to admit a regression. Current: 88.5%.
+COVER_FLOOR ?= 86.0
+
+.PHONY: all build test race bench bench-all bench-check bench-baseline \
+	cover vet lint chaos fuzz-smoke ci clean
 
 all: build test
 
@@ -34,6 +46,30 @@ bench:
 # Every benchmark (regenerates each table/figure once per iteration).
 bench-all:
 	$(GO) test . -run xxx -bench . -benchtime=1x
+
+# Benchmark regression gate: run the tier-1 set BENCH_COUNT times, record
+# the medians to BENCH_OUT (CI uploads it as an artifact), and fail if any
+# benchmark's ns/op grew more than 25% over the committed baseline.
+bench-check:
+	$(GO) test . -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) | tee bench.txt
+	$(GO) run ./cmd/benchdiff record -o $(BENCH_OUT) bench.txt
+	$(GO) run ./cmd/benchdiff compare -threshold 0.25 BENCH_baseline.json $(BENCH_OUT)
+
+# Refresh the committed baseline. Run on a quiet machine and commit the
+# resulting BENCH_baseline.json together with the change that shifted it.
+bench-baseline:
+	$(GO) test . -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) \
+		| $(GO) run ./cmd/benchdiff record -o BENCH_baseline.json
+
+# Statement coverage over internal/... with a ratcheted floor: the per-
+# package table comes from go test itself, the total is gated against
+# COVER_FLOOR.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < floor+0) { printf "FAIL: total coverage %.1f%% is below the %.1f%% floor\n", t, floor; exit 1 } \
+		printf "total coverage %.1f%% (floor %.1f%%)\n", t, floor }'
 
 vet:
 	$(GO) vet ./...
@@ -62,7 +98,7 @@ fuzz-smoke:
 	$(GO) test ./internal/langmodel -run xxx -fuzz '^FuzzReadBinary$$' -fuzztime=$(FUZZTIME)
 
 # The full local gate: everything CI runs, in the same order.
-ci: build vet lint test race chaos fuzz-smoke
+ci: build vet lint test race chaos fuzz-smoke cover bench-check
 
 clean:
 	$(GO) clean ./...

@@ -19,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,12 +35,22 @@ func main() {
 	lightInit := flag.Bool("light-init", false,
 		"draw each run's first query term from the sampled corpus's own model instead of TREC123's (faster for partial runs)")
 	par := flag.Int("parallel", 0, "worker goroutines for independent runs (0 = one per CPU, 1 = sequential)")
+	timing := flag.Bool("timing", false,
+		"print a per-experiment wall-time table (telemetry) after the run")
 	flag.Parse()
+
+	// Runtime telemetry: per-experiment wall time, env build time, worker
+	// pool utilization. Never feeds into results — it only drives the
+	// -timing report.
+	reg := telemetry.NewRegistry()
+	parallel.SetMetrics(reg)
 
 	suite := experiments.NewSuite(*scale, *seed)
 	suite.InitialFromTREC = !*lightInit
 	suite.Parallel = *par
+	suite.Metrics = reg
 	workers := experiments.WithWorkers(*par)
+	withMetrics := experiments.WithMetrics(reg)
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -157,7 +170,7 @@ func main() {
 				docsEach = 100
 			}
 		}
-		results, err := experiments.SelectionAgreement(numDBs, docsEach, sizes, 30, *seed, workers)
+		results, err := experiments.SelectionAgreement(numDBs, docsEach, sizes, 30, *seed, workers, withMetrics)
 		if err != nil {
 			fail(err)
 		}
@@ -168,7 +181,7 @@ func main() {
 	}
 
 	if selected("ext-adv") {
-		res, err := experiments.Adversarial(8, 600, 150, *seed, workers)
+		res, err := experiments.Adversarial(8, 600, 150, *seed, workers, withMetrics)
 		if err != nil {
 			fail(err)
 		}
@@ -208,7 +221,7 @@ func main() {
 				docsEach = 100
 			}
 		}
-		res, err := experiments.FederatedRetrieval(numDBs, docsEach, 200, 24, 3, *seed, workers)
+		res, err := experiments.FederatedRetrieval(numDBs, docsEach, 200, 24, 3, *seed, workers, withMetrics)
 		if err != nil {
 			fail(err)
 		}
@@ -219,7 +232,7 @@ func main() {
 	}
 
 	if selected("ext-expand") {
-		res, err := experiments.ExpansionSelection(8, 600, 60, 48, 3, *seed, workers)
+		res, err := experiments.ExpansionSelection(8, 600, 60, 48, 3, *seed, workers, withMetrics)
 		if err != nil {
 			fail(err)
 		}
@@ -255,5 +268,31 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	if *timing {
+		printTiming(reg)
+	}
 	fmt.Fprintf(out, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// printTiming renders the per-experiment wall-time histogram family as a
+// table: one row per experiment id (and env build), runs, total and p95.
+func printTiming(reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "experiments_") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+	fmt.Printf("%-44s %6s %10s %10s\n", "timer", "runs", "total", "p95")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Printf("%-44s %6d %10s %10s\n", name, h.Count,
+			time.Duration(h.Sum*float64(time.Second)).Round(time.Millisecond),
+			time.Duration(h.P95*float64(time.Second)).Round(time.Millisecond))
+	}
 }

@@ -16,12 +16,19 @@
 //	curl localhost:8080/databases/db00-finance/summary?k=10
 //	curl -XPOST localhost:8080/databases -d '{"name":"x","addr":"host:port"}'
 //	curl -XPOST localhost:8080/databases/x/sample -d '{"docs":300}'
+//
+// Observability: every instance serves runtime metrics at /metrics (JSON,
+// or Prometheus text via Accept) and /debug/vars; -pprof additionally
+// mounts net/http/pprof under /debug/pprof/. Requests are logged as
+// structured key=value lines with per-request trace IDs (see DESIGN.md §9).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -30,6 +37,7 @@ import (
 	"repro/internal/netsearch"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +48,8 @@ func main() {
 	sampleDocs := flag.Int("demo-sample", 150, "sampling budget per demo database")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline for remote databases (0 = none)")
 	retries := flag.Int("retries", netsearch.DefaultAttempts, "attempts per remote operation, redialing with backoff in between (1 = no retry)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -57,11 +67,22 @@ func main() {
 		fmt.Printf("persisting models under %s\n", st.Dir())
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fail("bad -log level %q: %v", *logLevel, err)
+	}
+	reg := telemetry.NewRegistry()
+	logger := telemetry.NewLogger(os.Stderr, level, true)
+
 	svc := service.New(analysis.Database(), st)
 	defer svc.Close()
+	svc.SetMetrics(reg)
+	svc.SetLogger(logger)
 	svc.SetDialOptions(netsearch.Options{
 		Timeout: *timeout,
 		Retry:   netsearch.RetryPolicy{Attempts: *retries},
+		Metrics: reg,
+		Logger:  logger,
 	})
 
 	if *demo > 0 {
@@ -88,8 +109,24 @@ func main() {
 		}
 	}
 
+	handler := svc.Handler()
+	if *pprofOn {
+		// pprof is opt-in: mounting it on the service mux would expose
+		// profiling endpoints on every deployment. We wrap instead of
+		// importing for DefaultServeMux side effects.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Printf("pprof enabled at http://%s/debug/pprof/\n", *addr)
+	}
+
 	fmt.Printf("selection service listening on http://%s\n", *addr)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fail("%v", err)
 	}
 }

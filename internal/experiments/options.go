@@ -1,6 +1,11 @@
 package experiments
 
-import "repro/internal/parallel"
+import (
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
 
 // Option configures the package-level experiment functions (the federation
 // extensions, which are not Suite methods because they build their own
@@ -9,6 +14,7 @@ type Option func(*options)
 
 type options struct {
 	workers int
+	metrics *telemetry.Registry
 }
 
 // WithWorkers caps the number of concurrent sampling runs inside a
@@ -17,6 +23,20 @@ type options struct {
 // has its own seed and results are collected in database order.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// WithMetrics routes a package-level experiment's wall time into reg
+// under experiments_run_seconds{exp="…"} (nil, the default, records
+// nothing). Timing goes through the registry's injectable clock — this
+// package is under the repolint wallclock rule and never reads real time
+// itself.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
+
+// timeExp mirrors Suite.timeExp for the package-level experiments.
+func (o options) timeExp(exp string) func() time.Duration {
+	return o.metrics.Timer(`experiments_run_seconds{exp="` + exp + `"}`)
 }
 
 // applyOptions resolves the option list.

@@ -48,6 +48,7 @@ func (r *recorderDB) Fetch(id int) (corpus.Document, error) {
 // use the database's own analyzer here (one consistent vocabulary for the
 // pair statistics).
 func (s *Suite) PhraseConvergence(name string) ([]PhrasePoint, error) {
+	defer s.timeExp("ext-phrase")()
 	env, err := s.Env(name)
 	if err != nil {
 		return nil, err

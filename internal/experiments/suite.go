@@ -17,12 +17,14 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/langmodel"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Env is a prepared test database: generated corpus, built index, and the
@@ -72,6 +74,12 @@ type Suite struct {
 	// one worker per CPU (GOMAXPROCS); 1 runs strictly sequentially.
 	// Results are byte-identical either way — every run has its own seed.
 	Parallel int
+	// Metrics, when non-nil, receives per-experiment wall time
+	// (experiments_run_seconds{exp="…"}) and per-corpus env build time
+	// (experiments_env_build_seconds{env="…"}). This package is under the
+	// repolint wallclock rule, so all timing goes through the registry's
+	// injectable clock — experiment *results* never depend on it.
+	Metrics *telemetry.Registry
 
 	mu         sync.Mutex
 	envs       map[string]*entry[*Env]
@@ -105,6 +113,15 @@ func (s *Suite) WithSharedEnvs(seed uint64) *Suite {
 
 // workers resolves the suite's concurrency cap.
 func (s *Suite) workers() int { return parallel.Workers(s.Parallel) }
+
+// timeExp returns a stop function observing one experiment's wall time
+// under experiments_run_seconds{exp="…"} — the per-experiment cost view
+// cmd/experiments prints with -timing. A nil Metrics registry makes it
+// free. exp values come from the fixed experiment id set (table1, fig1,
+// …, ext-fed), so cardinality is bounded.
+func (s *Suite) timeExp(exp string) func() time.Duration {
+	return s.Metrics.Timer(`experiments_run_seconds{exp="` + exp + `"}`)
+}
 
 // profileByName maps experiment corpus names to profiles.
 func profileByName(name string) (corpus.Profile, error) {
@@ -143,6 +160,7 @@ func (s *Suite) envEntry(name string) *entry[*Env] {
 // first use. Safe for concurrent use.
 func (s *Suite) Env(name string) (*Env, error) {
 	return s.envEntry(name).get(func() (*Env, error) {
+		defer s.Metrics.Timer(`experiments_env_build_seconds{env="` + name + `"}`)()
 		p, err := profileByName(name)
 		if err != nil {
 			return nil, err

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -38,14 +39,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/randx"
+	"repro/internal/telemetry"
 )
 
-// request is one wire request.
+// request is one wire request. Trace carries the caller's trace ID on
+// every frame, so a server-side log line can be correlated with the HTTP
+// request (or sampling run) that caused it.
 type request struct {
 	Op    string `json:"op"`
 	Query string `json:"query,omitempty"`
 	N     int    `json:"n,omitempty"`
 	ID    int    `json:"id,omitempty"`
+	Trace string `json:"trace,omitempty"`
 }
 
 // response is one wire response.
@@ -68,10 +73,12 @@ type Server struct {
 	db core.Database
 	ln net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	logger  *slog.Logger
+	metrics *telemetry.Registry
 }
 
 // Serve starts a server on addr (use "127.0.0.1:0" to pick a free port)
@@ -90,6 +97,31 @@ func Serve(db core.Database, addr string) (*Server, error) {
 
 // Addr returns the listening address, e.g. "127.0.0.1:43671".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetLogger installs a structured logger; every request is logged at
+// debug level with its op and the trace ID carried on the frame. nil
+// disables logging (the default).
+func (s *Server) SetLogger(lg *slog.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = lg
+}
+
+// SetMetrics installs a telemetry registry; the server counts requests
+// per op under netsearch_server_requests_total{op="…"} and errors under
+// netsearch_server_errors_total. nil (the default) disables counting.
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = reg
+}
+
+// observers returns the current logger and registry under the lock.
+func (s *Server) observers() (*slog.Logger, *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logger, s.metrics
+}
 
 // Close stops accepting connections, closes existing ones, and waits for
 // handler goroutines to finish.
@@ -145,10 +177,32 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // disconnect or garbage; drop the connection
 		}
-		if err := enc.Encode(s.dispatch(req)); err != nil {
+		resp := s.dispatch(req)
+		if lg, reg := s.observers(); lg != nil || reg != nil {
+			reg.Counter(`netsearch_server_requests_total{op="` + promSafe(req.Op) + `"}`).Inc()
+			if resp.Error != "" {
+				reg.Counter("netsearch_server_errors_total").Inc()
+			}
+			if lg != nil {
+				lg.Debug("netsearch request",
+					"op", req.Op, telemetry.TraceKey, req.Trace, "err", resp.Error)
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
+}
+
+// promSafe clamps an op string from the wire to the small closed set of
+// known operations, so a hostile peer cannot mint unbounded metric-label
+// cardinality.
+func promSafe(op string) string {
+	switch op {
+	case "search", "fetch", "count":
+		return op
+	}
+	return "other"
 }
 
 func (s *Server) dispatch(req request) response {
@@ -197,6 +251,13 @@ type Options struct {
 	// SleepFunc replaces time.Sleep between retry attempts so tests can
 	// count backoffs instead of waiting them out. nil means time.Sleep.
 	SleepFunc func(time.Duration)
+	// Metrics receives the client's runtime counters and per-op latency
+	// histograms (see DESIGN.md §9 for the inventory). nil disables
+	// instrumentation at the cost of one branch per event.
+	Metrics *telemetry.Registry
+	// Logger receives a debug line per retry/redial, tagged with the
+	// client's trace ID. nil disables logging.
+	Logger *slog.Logger
 }
 
 // ClientStats counts a client's brushes with the network.
@@ -227,6 +288,7 @@ type Client struct {
 	closed bool
 	rng    *randx.Source // jitter stream; guarded by mu
 	stats  ClientStats
+	trace  string // trace ID stamped on every wire frame; guarded by mu
 }
 
 // Dial connects to a netsearch server with default Options.
@@ -259,9 +321,20 @@ func (c *Client) dial() (net.Conn, error) {
 	}
 	conn, err := dialFn(c.addr)
 	if err != nil {
+		c.opts.Metrics.Counter("netsearch_dial_errors_total").Inc()
 		return nil, fmt.Errorf("netsearch: dial %s: %w", c.addr, err)
 	}
+	c.opts.Metrics.Counter("netsearch_dials_total").Inc()
 	return conn, nil
+}
+
+// SetTrace stamps every subsequent wire frame with the given trace ID,
+// correlating server-side logs with the request (or sampling run) the
+// operation belongs to. The empty string clears it.
+func (c *Client) SetTrace(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = id
 }
 
 // attach adopts conn as the client's transport. Caller holds mu (or is the
@@ -303,6 +376,8 @@ func (c *Client) Stats() ClientStats {
 }
 
 func (c *Client) sleep(d time.Duration) {
+	c.opts.Metrics.Counter("netsearch_backoff_sleeps_total").Inc()
+	c.opts.Metrics.Histogram("netsearch_backoff_seconds").Observe(d.Seconds())
 	if c.opts.SleepFunc != nil {
 		c.opts.SleepFunc(d)
 		return
@@ -318,16 +393,27 @@ type remoteError struct{ msg string }
 func (e remoteError) Error() string { return e.msg }
 
 func (c *Client) roundTrip(req request) (response, error) {
+	// Per-op latency covers the whole operation as the caller sees it:
+	// lock wait, retries, backoff sleeps and redials included.
+	sp := c.opts.Metrics.StartSpan(`netsearch_op_seconds{op="` + req.Op + `"}`)
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return response{}, fmt.Errorf("netsearch: %s %s: client is closed", req.Op, c.addr)
 	}
+	req.Trace = c.trace
 	policy := c.opts.Retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
 		if attempt > 0 {
 			c.stats.Retries++
+			c.opts.Metrics.Counter("netsearch_retries_total").Inc()
+			if c.opts.Logger != nil {
+				c.opts.Logger.Debug("netsearch retry",
+					"op", req.Op, "attempt", attempt+1, "addr", c.addr,
+					telemetry.TraceKey, c.trace, "err", fmt.Sprint(lastErr))
+			}
 			c.sleep(policy.Delay(attempt-1, c.rng))
 		}
 		if c.broken || c.conn == nil {
@@ -341,6 +427,7 @@ func (c *Client) roundTrip(req request) (response, error) {
 			}
 			c.attach(conn)
 			c.stats.Redials++
+			c.opts.Metrics.Counter("netsearch_redials_total").Inc()
 		}
 		resp, err := c.do(req)
 		if err == nil {
@@ -354,10 +441,13 @@ func (c *Client) roundTrip(req request) (response, error) {
 		// responses on this connection can no longer be matched to
 		// requests. Never reuse it.
 		c.stats.Faults++
+		c.opts.Metrics.Counter("netsearch_faults_total").Inc()
 		c.broken = true
 		c.conn.Close()
+		c.opts.Metrics.Counter("netsearch_conns_discarded_total").Inc()
 		lastErr = err
 	}
+	c.opts.Metrics.Counter("netsearch_op_failures_total").Inc()
 	return response{}, fmt.Errorf("netsearch: %s %s failed after %d attempts: %w",
 		req.Op, c.addr, policy.Attempts, lastErr)
 }

@@ -18,7 +18,47 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
+
+// metricsReg is the package's optional telemetry sink. The pool is shared
+// infrastructure (experiment suite, service fan-out), so instrumentation
+// is process-wide rather than per-call: SetMetrics installs a registry
+// and every Map/ForN/Group task from then on is counted. When unset the
+// hot path pays a single atomic load per Map call.
+var metricsReg atomic.Pointer[telemetry.Registry]
+
+// SetMetrics installs the registry that receives pool utilization
+// (parallel_busy_workers gauge), task counts (parallel_tasks_total,
+// parallel_task_errors_total) and task latency (parallel_task_seconds
+// histogram). nil disables instrumentation.
+func SetMetrics(reg *telemetry.Registry) { metricsReg.Store(reg) }
+
+// instrument wraps fn with the installed registry's instruments; it
+// returns fn unchanged when no registry is installed.
+func instrument[T, R any](fn func(i int, item T) (R, error)) func(i int, item T) (R, error) {
+	reg := metricsReg.Load()
+	if reg == nil {
+		return fn
+	}
+	busy := reg.Gauge("parallel_busy_workers")
+	tasks := reg.Counter("parallel_tasks_total")
+	fails := reg.Counter("parallel_task_errors_total")
+	return func(i int, item T) (R, error) {
+		busy.Add(1)
+		sp := reg.StartSpan("parallel_task_seconds")
+		out, err := fn(i, item)
+		sp.End()
+		busy.Add(-1)
+		tasks.Inc()
+		if err != nil {
+			fails.Inc()
+		}
+		return out, err
+	}
+}
 
 // Workers resolves a requested concurrency level: n > 0 is used as given,
 // anything else (0, negative) means "one worker per available CPU"
@@ -37,6 +77,7 @@ func Workers(n int) int {
 // have hit first. workers <= 1 or len(items) <= 1 runs inline without
 // goroutines.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	fn = instrument(fn)
 	out := make([]R, len(items))
 	errs := make([]error, len(items))
 	if workers = Workers(workers); workers > len(items) {
@@ -107,6 +148,9 @@ func NewGroup(workers int) *Group {
 // Go submits a task. It never blocks the caller beyond bookkeeping; the
 // task itself waits for a worker slot.
 func (g *Group) Go(fn func() error) {
+	inner := fn
+	wrapped := instrument(func(int, struct{}) (struct{}, error) { return struct{}{}, inner() })
+	fn = func() error { _, err := wrapped(0, struct{}{}); return err }
 	g.mu.Lock()
 	i := g.n
 	g.n++

@@ -1,0 +1,54 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestMapAndGroupAreInstrumented(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+
+	items := []int{1, 2, 3, 4, 5}
+	boom := errors.New("boom")
+	_, err := Map(2, items, func(i int, v int) (int, error) {
+		if v == 3 {
+			return 0, boom
+		}
+		return v * v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want boom", err)
+	}
+
+	g := NewGroup(2)
+	g.Go(func() error { return nil })
+	g.Go(func() error { return boom })
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Group error = %v, want boom", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["parallel_tasks_total"]; got != 7 {
+		t.Fatalf("parallel_tasks_total = %d, want 7", got)
+	}
+	if got := snap.Counters["parallel_task_errors_total"]; got != 2 {
+		t.Fatalf("parallel_task_errors_total = %d, want 2", got)
+	}
+	if got := snap.Gauges["parallel_busy_workers"]; got != 0 {
+		t.Fatalf("parallel_busy_workers = %d after quiescence, want 0", got)
+	}
+	if got := snap.Histograms["parallel_task_seconds"].Count; got != 7 {
+		t.Fatalf("parallel_task_seconds count = %d, want 7", got)
+	}
+}
+
+func TestSetMetricsNilDisables(t *testing.T) {
+	SetMetrics(nil)
+	if _, err := Map(2, []int{1, 2}, func(i, v int) (int, error) { return v, nil }); err != nil {
+		t.Fatal(err)
+	}
+}

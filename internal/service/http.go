@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // HTTP API. The handler exposes the service's operations as JSON
@@ -22,6 +25,25 @@ import (
 //	GET    /databases/{name}/summary?metric=avg-tf&k=20
 //	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB
 //	GET    /healthz
+//	GET    /metrics                        (when SetMetrics was called;
+//	                                        JSON or Prometheus text per Accept)
+//	GET    /debug/vars                     (when SetMetrics was called; JSON)
+//
+// Every request is assigned a trace ID (honoring an incoming X-Trace-Id
+// header), echoed back in the response's X-Trace-Id header, logged, and —
+// for sampling requests — propagated down through the netsearch wire
+// protocol so remote-side logs correlate with the originating request.
+
+// traceKey is the context key the middleware stores the request's trace
+// ID under.
+type traceKey struct{}
+
+// TraceFromContext returns the trace ID the HTTP middleware assigned to
+// this request ("" outside a traced request).
+func TraceFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
 
 // Handler returns the HTTP handler for the service.
 func (s *Service) Handler() http.Handler {
@@ -32,7 +54,69 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/rank", s.handleRank)
 	mux.HandleFunc("/databases", s.handleDatabases)
 	mux.HandleFunc("/databases/", s.handleDatabase)
-	return mux
+	// The registry is resolved per request, so SetMetrics works whether
+	// it is called before or after Handler; without one, the endpoints
+	// answer 404.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg := s.Metrics(); reg != nil {
+			telemetry.Handler(reg).ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		if reg := s.Metrics(); reg != nil {
+			telemetry.VarsHandler(reg).ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	return s.instrument(mux)
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the API mux with the observability middleware: trace
+// ID assignment, per-status-class counters (http_responses_total and the
+// 4xx/5xx satellites), request latency, and one structured log line per
+// request.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg, lg := s.Metrics(), s.log()
+		trace := r.Header.Get("X-Trace-Id")
+		if trace == "" {
+			trace = s.traces.Next()
+		}
+		w.Header().Set("X-Trace-Id", trace)
+		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, trace))
+
+		sp := reg.StartSpan("http_request_seconds")
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		d := sp.End()
+
+		class := fmt.Sprintf("%dxx", sw.status/100)
+		reg.Counter("http_requests_total").Inc()
+		reg.Counter(`http_responses_total{class="` + class + `"}`).Inc()
+		switch {
+		case sw.status >= 500:
+			reg.Counter("http_5xx_total").Inc()
+		case sw.status >= 400:
+			reg.Counter("http_4xx_total").Inc()
+		}
+		lg.Info("http request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"elapsed", d, telemetry.TraceKey, trace)
+	})
 }
 
 type httpError struct {
@@ -124,6 +208,9 @@ func (s *Service) handleDatabase(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		// The run inherits the request's trace ID; the service pushes it
+		// down to the netsearch frames the run sends.
+		opts.TraceID = TraceFromContext(r.Context())
 		st, err := s.Sample(name, opts)
 		if err != nil {
 			writeErr(w, statusFor(err), err)

@@ -13,7 +13,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/selection"
 	"repro/internal/store"
 	"repro/internal/summarize"
+	"repro/internal/telemetry"
 )
 
 // ErrUnknownDatabase is returned for operations on unregistered names.
@@ -80,6 +83,10 @@ type SampleOptions struct {
 	// over: Docs more documents are added to the existing sample — the
 	// paper's "sampling can be continued" property (§5).
 	Extend bool `json:"extend"`
+	// TraceID correlates the run's log lines and netsearch wire frames
+	// with the request that triggered it. The HTTP layer fills it from
+	// the request's trace ID; it is never decoded from a client body.
+	TraceID string `json:"-"`
 }
 
 func (o SampleOptions) withDefaults() SampleOptions {
@@ -118,6 +125,12 @@ type Service struct {
 	analyzer analysis.Analyzer
 	st       *store.Store // optional persistence
 
+	// metrics and logger are no-op capable: a nil registry discards
+	// every observation and logger defaults to a discarding slog.
+	metrics *telemetry.Registry
+	logger  *slog.Logger
+	traces  *telemetry.TraceIDs
+
 	mu        sync.RWMutex
 	entries   map[string]*entry
 	dialOpts  netsearch.Options
@@ -131,9 +144,54 @@ func New(an analysis.Analyzer, st *store.Store) *Service {
 	return &Service{
 		analyzer:  an,
 		st:        st,
+		logger:    telemetry.NopLogger(),
+		traces:    telemetry.NewTraceIDs("req"),
 		entries:   make(map[string]*entry),
 		tripAfter: DefaultTripThreshold,
 	}
+}
+
+// SetMetrics installs a telemetry registry. Every sampling run, selection
+// query and HTTP request from now on is counted there, and the HTTP
+// handler additionally serves /metrics and /debug/vars. Connections
+// dialed from now on inherit the registry (unless SetDialOptions already
+// set one explicitly). nil reverts to no instrumentation.
+func (s *Service) SetMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = reg
+	if s.dialOpts.Metrics == nil || reg == nil {
+		s.dialOpts.Metrics = reg
+	}
+}
+
+// SetLogger installs a structured logger for request and sampling-run
+// log lines (key=value via slog; see telemetry.NewLogger). nil reverts
+// to discarding.
+func (s *Service) SetLogger(lg *slog.Logger) {
+	if lg == nil {
+		lg = telemetry.NopLogger()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = lg
+	if s.dialOpts.Logger == nil {
+		s.dialOpts.Logger = lg
+	}
+}
+
+// Metrics returns the installed registry (nil when uninstrumented).
+func (s *Service) Metrics() *telemetry.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metrics
+}
+
+// log returns the current logger.
+func (s *Service) log() *slog.Logger {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.logger
 }
 
 // SetDialOptions configures the fault tolerance (per-operation deadline,
@@ -284,6 +342,11 @@ func (s *Service) recordFailure(e *entry, err error) {
 	e.stats.LastError = err.Error()
 	e.stats.ConsecutiveFailures++
 	if s.tripAfter > 0 && e.stats.ConsecutiveFailures >= s.tripAfter {
+		if !e.stats.CircuitOpen {
+			s.metrics.Counter("service_breaker_trips_total").Inc()
+			s.logger.Warn("circuit breaker tripped",
+				"db", e.name, "consecutive_failures", e.stats.ConsecutiveFailures)
+		}
 		e.stats.CircuitOpen = true
 	}
 }
@@ -298,17 +361,26 @@ func (s *Service) recordFailure(e *entry, err error) {
 // proceed concurrently.
 func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	opts = opts.withDefaults()
+	reg, lg := s.Metrics(), s.log()
+	defer reg.Timer("service_sample_seconds")()
 
 	s.mu.RLock()
 	e, ok := s.entries[name]
 	s.mu.RUnlock()
 	if !ok {
+		reg.Counter("service_sample_errors_total").Inc()
 		return DBStatus{}, fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
 	}
 
-	// In-flight guard: one sampling run per entry at a time.
+	// In-flight guard: one sampling run per entry at a time. The gauge
+	// counts runs actually executing, not ones parked on the guard.
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
+	inflight := reg.Gauge("service_inflight_samples")
+	inflight.Add(1)
+	defer inflight.Add(-1)
+	lg.Info("sample start", "db", name, "docs", opts.Docs,
+		"extend", opts.Extend, telemetry.TraceKey, opts.TraceID)
 
 	s.mu.Lock()
 	db, err := s.connect(e)
@@ -316,7 +388,15 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 		s.recordFailure(e, err)
 		st := e.stats
 		s.mu.Unlock()
+		reg.Counter("service_sample_errors_total").Inc()
+		reg.Counter("service_sample_errors_total{" + dbLabel(name) + "}").Inc()
 		return st, fmt.Errorf("service: connect %q: %w", name, err)
+	}
+	// Propagate the trace ID onto the wire: runs on this entry are
+	// serialized by runMu, so the client's trace is ours for the run.
+	if c, ok := db.(*netsearch.Client); ok {
+		c.SetTrace(opts.TraceID)
+		defer c.SetTrace("")
 	}
 	initial := s.initialModel()
 	prev := e.lastRun
@@ -346,8 +426,17 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	defer s.mu.Unlock()
 	if err != nil {
 		s.recordFailure(e, err)
+		reg.Counter("service_sample_errors_total").Inc()
+		reg.Counter("service_sample_errors_total{" + dbLabel(name) + "}").Inc()
+		lg.Warn("sample failed", "db", name, telemetry.TraceKey, opts.TraceID, "err", err.Error())
 		return e.stats, fmt.Errorf("service: sample %q: %w", name, err)
 	}
+	reg.Counter("service_samples_total").Inc()
+	reg.Counter("service_samples_total{" + dbLabel(name) + "}").Inc()
+	reg.Counter("service_sampled_docs_total").Add(int64(res.Docs))
+	reg.Counter("service_probe_queries_total").Add(int64(res.Queries))
+	lg.Info("sample done", "db", name, "docs", res.Docs, "queries", res.Queries,
+		telemetry.TraceKey, opts.TraceID)
 	e.model = res.Learned.Normalize(s.analyzer)
 	e.lastRun = res
 	e.stats.HasModel = true
@@ -432,10 +521,36 @@ type RankedDB struct {
 	Score float64 `json:"score"`
 }
 
+// dbLabel renders a registered database name as a Prometheus label set
+// fragment, escaping the three characters the text format reserves.
+// Cardinality stays bounded because values come only from the registry's
+// (small, operator-controlled) set of database names.
+func dbLabel(name string) string {
+	return `db="` + labelEscaper.Replace(name) + `"`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // Rank scores every database with a learned model against the query and
 // returns them best first. algName is "cori" (default), "gloss-sum" or
 // "gloss-ind". Query text is analyzed with the service's pipeline.
+//
+// Rank is the service's Select operation: its latency is observed into
+// service_select_seconds and its outcomes into service_selects_total /
+// service_select_errors_total.
 func (s *Service) Rank(query string, algName string, k int) ([]RankedDB, error) {
+	reg := s.Metrics()
+	defer reg.Timer("service_select_seconds")()
+	out, err := s.rank(query, algName, k)
+	if err != nil {
+		reg.Counter("service_select_errors_total").Inc()
+	} else {
+		reg.Counter("service_selects_total").Inc()
+	}
+	return out, err
+}
+
+func (s *Service) rank(query string, algName string, k int) ([]RankedDB, error) {
 	var alg selection.Algorithm
 	switch algName {
 	case "", "cori":

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+)
+
+// DefaultLatencyBuckets are the upper bounds (in seconds) used when a
+// histogram is created without explicit buckets: powers of two from 64µs
+// to ~8.4s. Anything slower lands in the implicit +Inf bucket. Bounded
+// bucket counts keep a histogram's memory constant no matter how many
+// observations it absorbs.
+var DefaultLatencyBuckets = func() []float64 {
+	bounds := make([]float64, 18)
+	b := 64e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram is a fixed-bucket histogram with quantile estimation. Bucket
+// bounds are upper bounds in increasing order; an implicit +Inf bucket
+// catches the overflow. Observations take one short mutex hold.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value (for latency histograms, seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: totals,
+// estimated quantiles, and the per-bucket cumulative counts Prometheus
+// expects.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Bounds are the bucket upper bounds; Cumulative[i] counts
+	// observations <= Bounds[i]. Count includes the +Inf overflow.
+	Bounds     []float64 `json:"bounds,omitempty"`
+	Cumulative []int64   `json:"cumulative,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+
+	snap := HistogramSnapshot{Count: n, Sum: sum, Bounds: h.bounds}
+	snap.Cumulative = make([]int64, len(h.bounds))
+	var cum int64
+	for i := range h.bounds {
+		cum += counts[i]
+		snap.Cumulative[i] = cum
+	}
+	snap.P50 = quantile(h.bounds, counts, n, 0.50)
+	snap.P95 = quantile(h.bounds, counts, n, 0.95)
+	snap.P99 = quantile(h.bounds, counts, n, 0.99)
+	return snap
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts by
+// linear interpolation inside the bucket holding the target rank — the
+// same estimate Prometheus's histogram_quantile computes server-side.
+// Values in the +Inf bucket clamp to the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	n := h.n
+	h.mu.Unlock()
+	return quantile(h.bounds, counts, n, q)
+}
+
+func quantile(bounds []float64, counts []int64, n int64, q float64) float64 {
+	if n == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (bounds[i]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
