@@ -11,7 +11,11 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Tier-1 benchmark set for the regression gate (see bench-check).
-BENCH_PATTERN := SamplerThroughput|SuiteBaselines
+BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored
+# Benchmarks that must be present in every recording; benchdiff record
+# fails otherwise, so a renamed/filtered-out rank benchmark cannot
+# silently drop out of the regression gate.
+BENCH_REQUIRE := Rank100DBs
 # Repeated runs per benchmark; benchdiff keeps the median, which is what
 # makes a 25% threshold usable on noisy shared CI machines.
 BENCH_COUNT ?= 5
@@ -52,14 +56,14 @@ bench-all:
 # benchmark's ns/op grew more than 25% over the committed baseline.
 bench-check:
 	$(GO) test . -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) | tee bench.txt
-	$(GO) run ./cmd/benchdiff record -o $(BENCH_OUT) bench.txt
+	$(GO) run ./cmd/benchdiff record -o $(BENCH_OUT) -require $(BENCH_REQUIRE) bench.txt
 	$(GO) run ./cmd/benchdiff compare -threshold 0.25 BENCH_baseline.json $(BENCH_OUT)
 
 # Refresh the committed baseline. Run on a quiet machine and commit the
 # resulting BENCH_baseline.json together with the change that shifted it.
 bench-baseline:
 	$(GO) test . -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) \
-		| $(GO) run ./cmd/benchdiff record -o BENCH_baseline.json
+		| $(GO) run ./cmd/benchdiff record -o BENCH_baseline.json -require $(BENCH_REQUIRE)
 
 # Statement coverage over internal/... with a ratcheted floor: the per-
 # package table comes from go test itself, the total is gated against

@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -24,6 +25,8 @@ import (
 	"repro/internal/index"
 	"repro/internal/langmodel"
 	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/selection"
 )
 
 var (
@@ -511,6 +514,131 @@ func BenchmarkAblationPruning(b *testing.B) {
 			b.ReportMetric(float64(pruned.VocabSize()), "terms")
 			b.ReportMetric(metrics.CtfRatio(pruned, actual), "ctf-ratio")
 			b.ReportMetric(metrics.SpearmanSimple(pruned, actual, langmodel.ByDF), "spearman")
+		})
+	}
+}
+
+// --- Serving-path benchmarks (compiled selection snapshots) ---
+
+// rankBenchModels builds n synthetic database models over a shared word
+// pool, the shape of a production selection service's model set.
+func rankBenchModels(n int) ([]*langmodel.Model, []string) {
+	const pool = 8000
+	words := make([]string, pool)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%04d", i)
+	}
+	src := randx.New(0xbe7c)
+	models := make([]*langmodel.Model, n)
+	for i := range models {
+		m := langmodel.New()
+		m.SetDocs(500 + src.Intn(5000))
+		terms := 1000 + src.Intn(2000)
+		for _, j := range src.Perm(pool)[:terms] {
+			df := 1 + src.Intn(400)
+			m.AddTerm(words[j], langmodel.TermStats{DF: df, CTF: int64(df * (1 + src.Intn(4)))})
+		}
+		models[i] = m
+	}
+	return models, words
+}
+
+// BenchmarkRank100DBs prices one ranked selection query against 100
+// databases, the serving hot path: the map-based scorers (one hash lookup
+// per term per model) versus the compiled snapshot (interned ids, CSR
+// postings, pooled buffers). The compiled arm is the ns/op recorded as the
+// serving-path regression gate.
+func BenchmarkRank100DBs(b *testing.B) {
+	models, words := rankBenchModels(100)
+	queries := make([][]string, 16)
+	src := randx.New(0x9a3e)
+	for i := range queries {
+		q := make([]string, 4)
+		for j := range q {
+			q[j] = words[src.Intn(len(words))]
+		}
+		queries[i] = q
+	}
+	algs := []struct {
+		name string
+		alg  selection.Algorithm
+	}{
+		{"alg=cori", selection.CORI{}},
+		{"alg=gloss-sum", selection.Gloss{Estimator: selection.GlossSum}},
+	}
+	for _, a := range algs {
+		b.Run(a.name+"/path=map", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranked := selection.Rank(a.alg, queries[i%len(queries)], models)
+				if len(ranked) != len(models) {
+					b.Fatal("short ranking")
+				}
+			}
+		})
+		b.Run(a.name+"/path=compiled", func(b *testing.B) {
+			c := selection.Compile(models)
+			ids := make([]int32, 0, 8)
+			scores := make([]float64, c.NumDBs())
+			out := make([]selection.Ranked, 0, c.NumDBs())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids = c.AppendIDs(ids[:0], queries[i%len(queries)])
+				var ok bool
+				out, ok = c.RankInto(a.alg, ids, scores, out[:0])
+				if !ok || len(out) != len(models) {
+					b.Fatal("short ranking")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTokenizeASCII prices the zero-allocation tokenizer fast path:
+// lower-case ASCII text into a recycled token slice.
+func BenchmarkTokenizeASCII(b *testing.B) {
+	text := ""
+	for i := 0; i < 20; i++ {
+		text += "the quick brown fox jumps over the lazy dog near the riverbank today "
+	}
+	dst := make([]string, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = analysis.AppendTokens(dst[:0], text)
+		if len(dst) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+// BenchmarkSearchScored prices the index's dense-accumulator ranked search
+// on both topN regimes: selecting a few of many (the sampler's n=4) and a
+// full ranking (n >= all hits), which must not regress now that topN is
+// the only sort site.
+func BenchmarkSearchScored(b *testing.B) {
+	docs := corpus.Scaled(corpus.CACM(), 0.5).MustGenerate()
+	ix := index.Build(docs, analysis.Database(), index.InQuery)
+	query := "system data language program time"
+	for _, arm := range []struct {
+		name string
+		n    int
+	}{
+		{"n=4", 4},
+		{"n=all", ix.NumDocs()},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hits, err := ix.SearchScored(query, arm.n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(hits) == 0 {
+					b.Fatal("no hits")
+				}
+			}
 		})
 	}
 }

@@ -57,7 +57,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  benchdiff record [-o out.json] [bench-output.txt]
+  benchdiff record [-o out.json] [-require name[,name...]] [bench-output.txt]
   benchdiff compare [-threshold 0.25] baseline.json current.json`)
 	os.Exit(2)
 }
@@ -70,6 +70,7 @@ func fail(format string, args ...any) {
 func cmdRecord(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default stdout)")
+	require := fs.String("require", "", "comma-separated benchmark name substrings that must appear in the recording")
 	fs.Parse(args)
 
 	in := io.Reader(os.Stdin)
@@ -88,6 +89,12 @@ func cmdRecord(args []string) {
 	if len(sum.Benchmarks) == 0 {
 		fail("no benchmark lines found in input")
 	}
+	if missing := missingRequired(sum, *require); len(missing) > 0 {
+		// A required benchmark silently vanishing (renamed, filtered out by
+		// a narrowed -bench pattern, skipped) would otherwise produce a
+		// baseline that can never flag its regressions.
+		fail("required benchmark(s) missing from recording: %s", strings.Join(missing, ", "))
+	}
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		fail("%v", err)
@@ -101,6 +108,30 @@ func cmdRecord(args []string) {
 		fail("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "recorded %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+}
+
+// missingRequired returns, in input order, the -require tokens that match
+// no recorded benchmark name (substring match, so "Rank100DBs" covers all
+// its sub-benchmarks). An empty spec requires nothing.
+func missingRequired(sum *Summary, spec string) []string {
+	var missing []string
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		found := false
+		for name := range sum.Benchmarks {
+			if strings.Contains(name, tok) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, tok)
+		}
+	}
+	return missing
 }
 
 func cmdCompare(args []string) {

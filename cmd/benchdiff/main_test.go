@@ -92,6 +92,37 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+func TestMissingRequired(t *testing.T) {
+	sum := &Summary{Benchmarks: map[string]Result{
+		"Rank100DBs/alg=cori/path=compiled": {NsPerOp: 1},
+		"SamplerThroughput/snapshots=off":   {NsPerOp: 1},
+	}}
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"", nil},
+		{"Rank100DBs", nil},                             // substring covers sub-benchmarks
+		{"Rank100DBs,SamplerThroughput", nil},           // all present
+		{"TokenizeASCII", []string{"TokenizeASCII"}},    // absent
+		{" Rank100DBs , Ghost ,", []string{"Ghost"}},    // spaces and empty tokens ignored
+		{"Ghost,Phantom", []string{"Ghost", "Phantom"}}, // order preserved
+	}
+	for _, c := range cases {
+		got := missingRequired(sum, c.spec)
+		if len(got) != len(c.want) {
+			t.Errorf("missingRequired(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("missingRequired(%q) = %v, want %v", c.spec, got, c.want)
+				break
+			}
+		}
+	}
+}
+
 func TestCompareExactThresholdPasses(t *testing.T) {
 	base := &Summary{Benchmarks: map[string]Result{"B": {NsPerOp: 100}}}
 	cur := &Summary{Benchmarks: map[string]Result{"B": {NsPerOp: 125}}}

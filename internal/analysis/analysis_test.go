@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode"
 )
 
 func TestTokenizeBasic(t *testing.T) {
@@ -28,6 +29,121 @@ func TestTokenizeBasic(t *testing.T) {
 		if !reflect.DeepEqual(got, c.want) {
 			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
 		}
+	}
+}
+
+// TestTokenizeApostrophes pins the apostrophe rules at every position a
+// quote can occupy. Trimming is folded into the scan loop (an apostrophe
+// is committed only when a letter or digit follows it inside the token),
+// so none of these cases depend on a post-pass over the built string.
+func TestTokenizeApostrophes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"don't", []string{"don't"}},
+		{"'rock", []string{"rock"}},
+		{"rock'", []string{"rock"}},
+		{"''rock", []string{"rock"}},
+		{"rock''", []string{"rock"}},
+		{"''rock''", []string{"rock"}},
+		{"rock''roll", []string{"rock''roll"}},
+		{"'", nil},
+		{"'''", nil},
+		{"' ' '", nil},
+		{"a'", []string{"a"}},
+		{"'a", []string{"a"}},
+		{"o''", []string{"o"}},
+		{"can't've", []string{"can't've"}},
+		{"'tis the season", []string{"tis", "the", "season"}},
+		{"DON'T", []string{"don't"}},
+		{"O'Brien's", []string{"o'brien's"}},
+		{"'80s music", []string{"80s", "music"}},
+		{"x'' y''z", []string{"x", "y''z"}},
+		{"naïve' 'café", []string{"naïve", "café"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAppendTokensReusesDst(t *testing.T) {
+	dst := make([]string, 0, 16)
+	got := AppendTokens(dst, "alpha beta")
+	got = AppendTokens(got, "Gamma")
+	want := []string{"alpha", "beta", "gamma"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendTokens accumulated %v, want %v", got, want)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("AppendTokens reallocated despite sufficient capacity")
+	}
+}
+
+// TestAppendTokensZeroAlloc is the zero-allocation contract of the serving
+// path: lower-case ASCII text tokenized into a recycled slice must not
+// touch the heap — tokens are sliced from the input, not copied.
+func TestAppendTokensZeroAlloc(t *testing.T) {
+	text := "apple pie with baked apple slices don't stop 80 of 1 000 docs"
+	dst := make([]string, 0, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendTokens(dst[:0], text)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendTokens on lower-case ASCII allocated %.1f times per run, want 0", allocs)
+	}
+	if len(dst) != 13 {
+		t.Fatalf("tokenized %d tokens, want 13: %v", len(dst), dst)
+	}
+}
+
+// TestAppendTokensMatchesTokenize cross-checks the byte-level scanner
+// against representative inputs covering the fold-mode transitions (ASCII
+// upper case, UTF-8, invalid UTF-8, apostrophes at mode switches).
+func TestAppendTokensMatchesTokenize(t *testing.T) {
+	inputs := []string{
+		"", "plain lower text", "MiXeD CaSe", "ÜBER straße", "日本語 text",
+		"a'B c'D", "x\x80y", "Don't O'Brien's 'tis ROCK'' ''ROLL",
+		"café Naïve ÉCOLE", "a2B3c4 A'9'z", strings.Repeat("Word' ", 50),
+	}
+	for _, in := range inputs {
+		var ref []string
+		// Reference: the original rune-loop semantics, reconstructed.
+		var b strings.Builder
+		flush := func() {
+			if tok := strings.Trim(b.String(), "'"); tok != "" {
+				ref = append(ref, tok)
+			}
+			b.Reset()
+		}
+		for _, r := range in {
+			switch {
+			case unicode.IsLetter(r) || unicode.IsDigit(r):
+				b.WriteRune(unicode.ToLower(r))
+			case r == '\'':
+				if b.Len() > 0 {
+					b.WriteRune(r)
+				}
+			default:
+				flush()
+			}
+		}
+		flush()
+		if got := Tokenize(in); !reflect.DeepEqual(got, ref) {
+			t.Errorf("Tokenize(%q) = %v, reference loop gives %v", in, got, ref)
+		}
+	}
+}
+
+func TestAnalyzerAppendTokens(t *testing.T) {
+	a := Database()
+	dst := []string{"seed"}
+	got := a.AppendTokens(dst, "The running dogs")
+	want := []string{"seed", "run", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendTokens = %v, want %v", got, want)
 	}
 }
 

@@ -31,9 +31,21 @@ func Database() Analyzer {
 
 // Tokens runs the pipeline over text and returns the index terms.
 func (a Analyzer) Tokens(text string) []string {
-	toks := Tokenize(text)
-	out := toks[:0]
-	for _, t := range toks {
+	return a.AppendTokens(nil, text)
+}
+
+// AppendTokens runs the pipeline over text and appends the surviving index
+// terms to dst, returning the extended slice. It is the allocation-free
+// form of Tokens for hot paths: recycling dst across calls reuses its
+// capacity, and the underlying tokenizer slices lower-case ASCII tokens
+// straight out of text.
+func (a Analyzer) AppendTokens(dst []string, text string) []string {
+	base := len(dst)
+	dst = AppendTokens(dst, text)
+	// Filter in place over the freshly appended window: the write index
+	// never passes the read index, so the aliasing is safe.
+	out := dst[:base]
+	for _, t := range dst[base:] {
 		if a.MinLength > 0 && len(t) < a.MinLength {
 			continue
 		}

@@ -12,44 +12,133 @@
 package analysis
 
 import (
-	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize splits text into lower-cased tokens. A token is a maximal run of
 // letters, digits, or internal apostrophes; all other characters separate
 // tokens. The rules mirror the simple word tokenizers of 1990s IR engines:
 // "U.S." becomes "u", "s"; "don't" stays one token; "80%" yields "80".
+//
+// Leading and trailing apostrophes never survive: an apostrophe is only
+// committed to a token when a letter or digit follows it within the same
+// token, so trimming happens during the scan rather than as a post-pass
+// over each built string.
 func Tokenize(text string) []string {
-	var tokens []string
-	var b strings.Builder
+	return AppendTokens(nil, text)
+}
+
+// tokenBufPool holds the scratch buffers AppendTokens folds mixed-case and
+// non-ASCII tokens into, so the query-serving hot path never allocates one
+// per call.
+var tokenBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64); return &b },
+}
+
+// AppendTokens tokenizes text exactly like Tokenize and appends the tokens
+// to dst, returning the extended slice. It is the allocation-free form of
+// Tokenize for hot paths: tokens that are already lower-case ASCII are
+// sliced directly from text (no copy), tokens that need case folding or
+// UTF-8 lowering are built in a pooled scratch buffer, and dst's capacity
+// is reused across calls. With a recycled dst and lower-case ASCII input
+// the function performs zero heap allocations.
+func AppendTokens(dst []string, text string) []string {
+	const noToken = -1
+	start := noToken // byte index where the current token began in text
+	lastLD := 0      // byte index just past the token's last letter/digit
+	pending := 0     // apostrophes seen since the last letter/digit
+
+	// Scratch-buffer ("folded") mode is entered the first time a token
+	// needs rewriting (an upper-case ASCII letter or any non-ASCII rune).
+	var buf *[]byte
+	folded := false
+
 	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, strings.Trim(b.String(), "'"))
-			b.Reset()
+		if start != noToken {
+			if folded {
+				if len(*buf) > 0 {
+					dst = append(dst, string(*buf))
+				}
+			} else if lastLD > start {
+				dst = append(dst, text[start:lastLD])
+			}
+		}
+		start, pending, folded = noToken, 0, false
+	}
+	// enterFolded switches the in-progress token to the scratch buffer,
+	// seeding it with the committed (already lower-case) prefix.
+	enterFolded := func(i int) {
+		if buf == nil {
+			buf = tokenBufPool.Get().(*[]byte)
+		}
+		*buf = (*buf)[:0]
+		if start != noToken && lastLD > start {
+			*buf = append(*buf, text[start:lastLD]...)
+		}
+		if start == noToken {
+			start = i
+		}
+		folded = true
+	}
+	// commitPending writes the apostrophes that turned out to be interior.
+	commitPending := func() {
+		for ; pending > 0; pending-- {
+			*buf = append(*buf, '\'')
 		}
 	}
-	for _, r := range text {
+
+	for i := 0; i < len(text); {
+		b := text[i]
 		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-		case r == '\'':
-			if b.Len() > 0 {
-				b.WriteRune(r)
+		case b >= 'a' && b <= 'z' || b >= '0' && b <= '9':
+			if folded {
+				commitPending()
+				*buf = append(*buf, b)
+			} else if start == noToken {
+				start = i
 			}
-		default:
+			// In slice mode pending apostrophes are already part of
+			// text[start:i], so extending lastLD past them commits them.
+			lastLD = i + 1
+			i++
+		case b >= 'A' && b <= 'Z':
+			if !folded {
+				enterFolded(i)
+			}
+			commitPending()
+			*buf = append(*buf, b+'a'-'A')
+			lastLD = i + 1
+			i++
+		case b == '\'':
+			if start != noToken {
+				pending++
+			}
+			i++
+		case b < utf8.RuneSelf:
 			flush()
+			i++
+		default:
+			r, size := utf8.DecodeRuneInString(text[i:])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				if !folded {
+					enterFolded(i)
+				}
+				commitPending()
+				*buf = utf8.AppendRune(*buf, unicode.ToLower(r))
+				lastLD = i + size
+			} else {
+				flush()
+			}
+			i += size
 		}
 	}
 	flush()
-	// Trimming may have produced empty tokens (e.g. a bare apostrophe).
-	out := tokens[:0]
-	for _, t := range tokens {
-		if t != "" {
-			out = append(out, t)
-		}
+	if buf != nil {
+		tokenBufPool.Put(buf)
 	}
-	return out
+	return dst
 }
 
 // IsNumber reports whether the token consists entirely of digits (with an

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/corpus"
@@ -140,47 +141,95 @@ func (ix *Index) Search(query string, n int) ([]int, error) {
 	return ids, nil
 }
 
+// searchScratch holds the per-query working memory of SearchScored — token
+// list, dense score accumulator, and candidate hits — recycled through a
+// pool so the serving hot path allocates only the result it returns.
+//
+// The accumulator uses generation marks instead of clearing: scores[doc] is
+// valid only when mark[doc] equals the scratch's current generation, so
+// "resetting" between queries is a single counter increment rather than an
+// O(docs) zeroing pass.
+type searchScratch struct {
+	terms   []string
+	scores  []float64
+	mark    []uint32
+	gen     uint32
+	touched []int32
+	hits    []Hit
+}
+
+var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// reset prepares the scratch for an index with nDocs documents.
+func (s *searchScratch) reset(nDocs int) {
+	if cap(s.scores) < nDocs {
+		s.scores = make([]float64, nDocs)
+		s.mark = make([]uint32, nDocs)
+		s.gen = 0
+	} else {
+		s.scores = s.scores[:nDocs]
+		s.mark = s.mark[:nDocs]
+	}
+	s.gen++
+	if s.gen == 0 {
+		// Generation counter wrapped: stale marks could collide, so pay the
+		// one-time clear (once per 2^32 queries) over the full capacity.
+		m := s.mark[:cap(s.mark)]
+		for i := range m {
+			m[i] = 0
+		}
+		s.gen = 1
+	}
+	s.terms = s.terms[:0]
+	s.touched = s.touched[:0]
+	s.hits = s.hits[:0]
+}
+
 // SearchScored is Search with the ranking scores included. Ties break by
 // ascending document id so results are deterministic.
+//
+// Scoring accumulates into a dense pooled array keyed by document id — no
+// per-query map, no per-posting hashing — and topN is the single sort site
+// for every n. Per-document score accumulation stays in query-term order
+// (first touch stores, later touches add, and x = 0 + x exactly), so the
+// float64 results are bit-identical to the previous map-based accumulator.
 func (ix *Index) SearchScored(query string, n int) ([]Hit, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	terms := ix.analyzer.Tokens(query)
-	if len(terms) == 0 {
+	scr := searchScratchPool.Get().(*searchScratch)
+	defer searchScratchPool.Put(scr)
+	scr.reset(len(ix.docs))
+
+	scr.terms = ix.analyzer.AppendTokens(scr.terms, query)
+	if len(scr.terms) == 0 {
 		return nil, nil
 	}
-	scores := make(map[int32]float64)
 	avgdl := ix.avgDocLen()
-	for _, t := range terms {
+	for _, t := range scr.terms {
 		plist, ok := ix.postings[t]
 		if !ok {
 			continue
 		}
 		df := len(plist)
 		for _, p := range plist {
-			scores[p.doc] += ix.termScore(float64(p.tf), float64(ix.docLens[p.doc]), df, avgdl)
+			s := ix.termScore(float64(p.tf), float64(ix.docLens[p.doc]), df, avgdl)
+			if scr.mark[p.doc] != scr.gen {
+				scr.mark[p.doc] = scr.gen
+				scr.scores[p.doc] = s
+				scr.touched = append(scr.touched, p.doc)
+			} else {
+				scr.scores[p.doc] += s
+			}
 		}
 	}
-	if len(scores) == 0 {
+	if len(scr.touched) == 0 {
 		return nil, nil
 	}
-	hits := make([]Hit, 0, len(scores))
-	for doc, s := range scores {
-		hits = append(hits, Hit{Doc: int(doc), Score: s})
+	for _, doc := range scr.touched {
+		scr.hits = append(scr.hits, Hit{Doc: int(doc), Score: scr.scores[doc]})
 	}
-	if n < len(hits)/4 {
-		// Selecting a few of many: a bounded min-heap beats sorting the
-		// whole candidate set (O(H log n) vs O(H log H)). Frequent query
-		// terms match tens of thousands of documents while the sampler
-		// wants the top 4.
-		return topN(hits, n), nil
-	}
-	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
-	if n < len(hits) {
-		hits = hits[:n]
-	}
-	return hits, nil
+	return topN(scr.hits, n), nil
 }
 
 // betterHit orders hits best-first: higher score, ties by ascending doc.
@@ -193,8 +242,15 @@ func betterHit(a, b Hit) bool {
 
 // topN selects the n best hits with a bounded min-heap (the worst kept
 // hit sits at the root), then sorts just those n. Ordering is identical
-// to a full sort.
+// to a full sort: betterHit is a total order (unique doc ids break score
+// ties), so the heap keeps exactly the hits a full sort would return. When
+// n covers all hits the heap degenerates to an insert-everything pass
+// followed by the same sort, so there is a single sort site for every n.
+// The returned slice is freshly allocated; hits may be caller-recycled.
 func topN(hits []Hit, n int) []Hit {
+	if n > len(hits) {
+		n = len(hits)
+	}
 	heap := make([]Hit, 0, n)
 	siftDown := func(i int) {
 		for {

@@ -347,3 +347,113 @@ func BenchmarkSearchOneTerm(b *testing.B) {
 		}
 	}
 }
+
+// referenceSearchScored is the pre-densification implementation — a
+// per-query map accumulator followed by a full sort — kept in tests as the
+// oracle the pooled dense accumulator must match bit for bit.
+func referenceSearchScored(ix *Index, query string, n int) []Hit {
+	if n <= 0 {
+		return nil
+	}
+	terms := ix.analyzer.Tokens(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	scores := make(map[int32]float64)
+	avgdl := ix.avgDocLen()
+	for _, t := range terms {
+		plist, ok := ix.postings[t]
+		if !ok {
+			continue
+		}
+		df := len(plist)
+		for _, p := range plist {
+			scores[p.doc] += ix.termScore(float64(p.tf), float64(ix.docLens[p.doc]), df, avgdl)
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{Doc: int(doc), Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
+	if n < len(hits) {
+		hits = hits[:n]
+	}
+	return hits
+}
+
+func TestSearchScoredMatchesReference(t *testing.T) {
+	docs := corpus.Scaled(corpus.CACM(), 0.1).MustGenerate()
+	for _, scoring := range []Scoring{InQuery, BM25} {
+		ix := Build(docs, analysis.Database(), scoring)
+		queries := []string{
+			"the", "algorithm data", "computing system language program",
+			"zzz-unknown", "the zzz-unknown", "", "the the the",
+		}
+		for _, q := range queries {
+			for _, n := range []int{1, 4, 17, len(docs), len(docs) * 2} {
+				got, err := ix.SearchScored(q, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := referenceSearchScored(ix, q, n)
+				if len(got) != len(want) {
+					t.Fatalf("%s q=%q n=%d: %d hits, reference %d", scoring, q, n, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s q=%q n=%d: hit %d = %+v, reference %+v", scoring, q, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopNCoveringAllHits(t *testing.T) {
+	// n >= len(hits) must behave like a full sort, not panic or truncate.
+	hits := []Hit{{Doc: 2, Score: 1}, {Doc: 0, Score: 3}, {Doc: 1, Score: 3}}
+	for _, n := range []int{3, 4, 1000} {
+		got := topN(append([]Hit(nil), hits...), n)
+		want := []Hit{{Doc: 0, Score: 3}, {Doc: 1, Score: 3}, {Doc: 2, Score: 1}}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d hits", n, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: got %+v, want %+v", n, got, want)
+			}
+		}
+	}
+}
+
+// TestSearchScoredScratchReuse hammers one pooled scratch across indexes of
+// different sizes to exercise the generation-mark reset and buffer
+// regrowth paths.
+func TestSearchScoredScratchReuse(t *testing.T) {
+	small := buildTest("apple pie", "apple tart", "banana bread")
+	large := buildTest(
+		"apple one", "apple two", "apple three", "apple four", "apple five",
+		"apple six", "apple seven", "apple eight", "apple nine", "apple ten",
+	)
+	for round := 0; round < 50; round++ {
+		for _, ix := range []*Index{small, large, small} {
+			got, err := ix.SearchScored("apple", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceSearchScored(ix, "apple", 3)
+			if len(got) != len(want) {
+				t.Fatalf("round %d: %d hits, want %d", round, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: hit %d = %+v, want %+v", round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

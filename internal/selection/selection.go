@@ -21,6 +21,7 @@ package selection
 import (
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/langmodel"
 )
@@ -149,14 +150,24 @@ const (
 type Gloss struct {
 	// Estimator picks Sum (default) or Ind.
 	Estimator GlossEstimator
+	// Threshold is GlOSS's l parameter (Gravano et al.'s Sum(l)/Max(l)
+	// goodness family): a query term whose df fraction df_t/docs falls
+	// below l is treated as zero evidence. The zero value keeps every
+	// term, matching the l = 0 estimators above.
+	Threshold float64
 }
 
-// Name implements Algorithm.
+// Name implements Algorithm. The threshold is part of the name — distinct
+// thresholds are distinct rankings, and the name keys result caches.
 func (g Gloss) Name() string {
+	base := "gloss-sum"
 	if g.Estimator == GlossInd {
-		return "gloss-ind"
+		base = "gloss-ind"
 	}
-	return "gloss-sum"
+	if g.Threshold > 0 {
+		return base + "@" + strconv.FormatFloat(g.Threshold, 'g', -1, 64)
+	}
+	return base
 }
 
 // Scores implements Algorithm.
@@ -171,13 +182,21 @@ func (g Gloss) Scores(query []string, models []*langmodel.Model) []float64 {
 		case GlossInd:
 			est := docs
 			for _, t := range query {
-				est *= float64(m.DF(t)) / docs
+				frac := float64(m.DF(t)) / docs
+				if frac < g.Threshold {
+					frac = 0
+				}
+				est *= frac
 			}
 			scores[i] = est
 		default:
 			var sum float64
 			for _, t := range query {
-				sum += float64(m.DF(t)) / docs
+				frac := float64(m.DF(t)) / docs
+				if frac < g.Threshold {
+					frac = 0
+				}
+				sum += frac
 			}
 			scores[i] = sum
 		}

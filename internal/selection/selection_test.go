@@ -78,7 +78,7 @@ func TestCORIUnknownTermNeutral(t *testing.T) {
 
 func TestGlossSumRanksByCoverage(t *testing.T) {
 	models := threeDBs()
-	ranked := Rank(Gloss{GlossSum}, []string{"apple"}, models)
+	ranked := Rank(Gloss{Estimator: GlossSum}, []string{"apple"}, models)
 	if ranked[0].DB != 0 {
 		t.Errorf("gloss-sum ranked db %d first", ranked[0].DB)
 	}
@@ -90,7 +90,7 @@ func TestGlossSumRanksByCoverage(t *testing.T) {
 func TestGlossIndConjunctive(t *testing.T) {
 	// Ind multiplies: a db missing one query term estimates zero matches.
 	models := threeDBs()
-	scores := Gloss{GlossInd}.Scores([]string{"apple", "bond"}, models)
+	scores := Gloss{Estimator: GlossInd}.Scores([]string{"apple", "bond"}, models)
 	if scores[0] != 0 { // db 0 lacks "bond"
 		t.Errorf("db 0 score = %f, want 0", scores[0])
 	}
@@ -105,7 +105,7 @@ func TestGlossIndConjunctive(t *testing.T) {
 
 func TestGlossEmptyDatabase(t *testing.T) {
 	empty := langmodel.New()
-	scores := Gloss{GlossSum}.Scores([]string{"x"}, []*langmodel.Model{empty})
+	scores := Gloss{Estimator: GlossSum}.Scores([]string{"x"}, []*langmodel.Model{empty})
 	if scores[0] != 0 {
 		t.Errorf("empty db score = %f", scores[0])
 	}
@@ -115,7 +115,7 @@ func TestRankDeterministicTieBreak(t *testing.T) {
 	a := db(10, map[string][2]int64{"x": {5, 5}})
 	models := []*langmodel.Model{a.Clone(), a.Clone(), a.Clone()}
 	for trial := 0; trial < 5; trial++ {
-		ranked := Rank(Gloss{GlossSum}, []string{"x"}, models)
+		ranked := Rank(Gloss{Estimator: GlossSum}, []string{"x"}, models)
 		for i, r := range ranked {
 			if r.DB != i {
 				t.Fatalf("tie break unstable: %+v", ranked)
@@ -128,7 +128,7 @@ func TestAlgorithmNames(t *testing.T) {
 	if (CORI{}).Name() != "cori" {
 		t.Error("CORI name")
 	}
-	if (Gloss{GlossSum}).Name() != "gloss-sum" || (Gloss{GlossInd}).Name() != "gloss-ind" {
+	if (Gloss{Estimator: GlossSum}).Name() != "gloss-sum" || (Gloss{Estimator: GlossInd}).Name() != "gloss-ind" {
 		t.Error("Gloss names")
 	}
 }

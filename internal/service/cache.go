@@ -1,0 +1,132 @@
+package service
+
+// rankCache is the bounded LRU of selection results, keyed by
+// (query terms, algorithm, k, snapshot epoch). Keying on the epoch makes
+// invalidation free: a resample bumps the generation, new queries key into
+// new entries, and the old generation's entries age out of the LRU on
+// their own. Concurrent identical misses are single-flighted — one caller
+// computes while the rest wait on the entry's ready channel — so a burst
+// of the same expensive query costs one scoring pass.
+
+import "sync"
+
+// DefaultRankCacheSize is the default capacity of the selection result
+// cache (entries, across all epochs).
+const DefaultRankCacheSize = 1024
+
+type rankCacheKey struct {
+	// query is the analyzed terms joined with 0x1f (a byte the tokenizer
+	// never emits), so equal term sequences collide and raw query spelling
+	// does not.
+	query string
+	alg   string
+	k     int
+	epoch uint64
+}
+
+type rankCacheEntry struct {
+	key rankCacheKey
+
+	// ready is closed by the computing caller once val/err are set. A
+	// waiter that acquired the entry before it was evicted still gets its
+	// result — eviction only removes the map reference.
+	ready chan struct{}
+	val   []RankedDB
+	err   error
+
+	prev, next *rankCacheEntry // LRU list, head = most recent
+}
+
+type rankCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[rankCacheKey]*rankCacheEntry
+	head    *rankCacheEntry
+	tail    *rankCacheEntry
+}
+
+func newRankCache(capacity int) *rankCache {
+	return &rankCache{
+		cap:     capacity,
+		entries: make(map[rankCacheKey]*rankCacheEntry, capacity),
+	}
+}
+
+// acquire returns the entry for key and whether the caller is its leader.
+// The leader must call fulfill exactly once; everyone else waits on
+// entry.ready. An existing entry is refreshed to most-recently-used.
+func (c *rankCache) acquire(key rankCacheKey) (e *rankCacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e = c.entries[key]; e != nil {
+		c.moveToFront(e)
+		return e, false
+	}
+	e = &rankCacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		c.evict(c.tail)
+	}
+	return e, true
+}
+
+// fulfill publishes the leader's result. Errors are published to current
+// waiters but not cached: the entry is dropped so the next caller retries.
+func (c *rankCache) fulfill(e *rankCacheEntry, val []RankedDB, err error) {
+	e.val, e.err = val, err
+	close(e.ready)
+	if err != nil {
+		c.mu.Lock()
+		if c.entries[e.key] == e {
+			c.evict(e)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Len reports the number of cached (or in-flight) entries.
+func (c *rankCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// evict unlinks e. Caller holds c.mu.
+func (c *rankCache) evict(e *rankCacheEntry) {
+	delete(c.entries, e.key)
+	c.unlink(e)
+}
+
+func (c *rankCache) unlink(e *rankCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *rankCache) pushFront(e *rankCacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *rankCache) moveToFront(e *rankCacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

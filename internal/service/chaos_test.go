@@ -17,6 +17,7 @@ import (
 	"repro/internal/faulty"
 	"repro/internal/index"
 	"repro/internal/netsearch"
+	"repro/internal/telemetry"
 )
 
 func appleIndex() *index.Index {
@@ -135,6 +136,8 @@ func TestChaosSampleAllSurvivesFaultsAndRestart(t *testing.T) {
 	}
 	svc := New(analysis.Database(), nil)
 	defer svc.Close()
+	reg := telemetry.NewRegistry()
+	svc.SetMetrics(reg)
 	for _, db := range dbs {
 		if err := svc.RegisterLocal(db.Name, db.Index); err != nil {
 			t.Fatal(err)
@@ -226,5 +229,31 @@ func TestChaosSampleAllSurvivesFaultsAndRestart(t *testing.T) {
 	}
 	if !st.HasModel || st.CircuitOpen || st.ConsecutiveFailures != 0 {
 		t.Errorf("post-restart sample left unhealthy status: %+v", st)
+	}
+
+	// Sampling churn — faults, retries, the restart, the epoch bumps it
+	// all causes — must never touch the selection result cache: no Rank
+	// ran, so both cache counters must still read zero.
+	if hits := reg.Counter("service_select_cache_hits_total").Value(); hits != 0 {
+		t.Errorf("select cache recorded %d hits during sampling chaos", hits)
+	}
+	if misses := reg.Counter("service_select_cache_misses_total").Value(); misses != 0 {
+		t.Errorf("select cache recorded %d misses during sampling chaos", misses)
+	}
+
+	// And the serving path must come up correctly on the post-chaos model
+	// set: the first Rank compiles a snapshot (a miss), an identical Rank
+	// hits, and the compiled results match the map-based scorers.
+	if _, _, err := svc.rankCached("the data system", "cori", 3); err != nil {
+		t.Fatalf("rank after chaos: %v", err)
+	}
+	if _, _, err := svc.rankCached("the data system", "cori", 3); err != nil {
+		t.Fatalf("second rank after chaos: %v", err)
+	}
+	if misses := reg.Counter("service_select_cache_misses_total").Value(); misses != 1 {
+		t.Errorf("post-chaos ranks recorded %d misses, want 1", misses)
+	}
+	if hits := reg.Counter("service_select_cache_hits_total").Value(); hits != 1 {
+		t.Errorf("post-chaos ranks recorded %d hits, want 1", hits)
 	}
 }

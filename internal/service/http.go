@@ -140,7 +140,11 @@ func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 	k, _ := strconv.Atoi(q.Get("k"))
-	ranked, err := s.Rank(q.Get("q"), q.Get("alg"), k)
+	ranked, cacheStatus, err := s.rankCached(q.Get("q"), q.Get("alg"), k)
+	// X-Cache reports how the result was served: "hit" (cached, including
+	// single-flight waits on an identical in-flight query), "miss"
+	// (computed and cached), or "bypass" (cache disabled or bad request).
+	w.Header().Set("X-Cache", cacheStatus)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -253,3 +253,32 @@ func TestHTTPErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestHTTPRankCacheHeader(t *testing.T) {
+	ts, dbs := httpFixture(t)
+	// Sample one database so ranking has a model to serve.
+	var st DBStatus
+	resp := postJSON(t, ts.URL+"/databases/"+url.PathEscape(dbs[0].Name)+"/sample", SampleOptions{Docs: 30, Seed: 9}, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sample returned %d", resp.StatusCode)
+	}
+
+	rankURL := ts.URL + "/rank?q=" + url.QueryEscape("system data") + "&alg=cori&k=2"
+	var ranked []RankedDB
+	if resp = getJSON(t, rankURL, &ranked); resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first rank X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	if resp = getJSON(t, rankURL, &ranked); resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second rank X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+	// A GlOSS threshold spelling is routable end to end.
+	thrURL := ts.URL + "/rank?q=" + url.QueryEscape("system data") + "&alg=" + url.QueryEscape("gloss-sum@0.2")
+	if resp = getJSON(t, thrURL, &ranked); resp.StatusCode != http.StatusOK {
+		t.Fatalf("threshold rank returned %d", resp.StatusCode)
+	}
+	// Invalid requests bypass the cache.
+	badURL := ts.URL + "/rank?q=x&alg=bogus"
+	if resp = getJSON(t, badURL, nil); resp.Header.Get("X-Cache") != "bypass" || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad alg: X-Cache=%q status=%d", resp.Header.Get("X-Cache"), resp.StatusCode)
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -135,13 +137,22 @@ type Service struct {
 	entries   map[string]*entry
 	dialOpts  netsearch.Options
 	tripAfter int
+
+	// Query-serving state (snapshot.go, cache.go): gen counts model-set
+	// generations (bumped under mu whenever served models change), snap is
+	// the RCU-published compiled snapshot, compileMu single-flights
+	// rebuilds, and cache holds recent selection results (nil = disabled).
+	gen       atomic.Uint64
+	snap      atomic.Pointer[snapshotSet]
+	compileMu sync.Mutex
+	cache     atomic.Pointer[rankCache]
 }
 
 // New returns a service that normalizes learned models with the given
 // analyzer. st may be nil (no persistence); when non-nil, previously
 // stored models are loaded for databases as they are registered.
 func New(an analysis.Analyzer, st *store.Store) *Service {
-	return &Service{
+	s := &Service{
 		analyzer:  an,
 		st:        st,
 		logger:    telemetry.NopLogger(),
@@ -149,6 +160,19 @@ func New(an analysis.Analyzer, st *store.Store) *Service {
 		entries:   make(map[string]*entry),
 		tripAfter: DefaultTripThreshold,
 	}
+	s.cache.Store(newRankCache(DefaultRankCacheSize))
+	return s
+}
+
+// SetRankCacheSize resizes the selection result cache (default
+// DefaultRankCacheSize entries); n <= 0 disables result caching. Resizing
+// installs a fresh, empty cache.
+func (s *Service) SetRankCacheSize(n int) {
+	if n <= 0 {
+		s.cache.Store(nil)
+		return
+	}
+	s.cache.Store(newRankCache(n))
 }
 
 // SetMetrics installs a telemetry registry. Every sampling run, selection
@@ -227,6 +251,9 @@ func (s *Service) Register(name, addr string) error {
 	e := &entry{name: name, addr: addr, stats: DBStatus{Name: name, Addr: addr}}
 	s.loadPersisted(e)
 	s.entries[name] = e
+	if e.model != nil {
+		s.invalidate() // a persisted model joined the served set
+	}
 	return nil
 }
 
@@ -247,6 +274,9 @@ func (s *Service) RegisterLocal(name string, db core.Database) error {
 	e := &entry{name: name, db: db, stats: DBStatus{Name: name}}
 	s.loadPersisted(e)
 	s.entries[name] = e
+	if e.model != nil {
+		s.invalidate()
+	}
 	return nil
 }
 
@@ -269,10 +299,14 @@ func (s *Service) loadPersisted(e *entry) {
 func (s *Service) Unregister(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.entries[name]; !ok {
+	e, ok := s.entries[name]
+	if !ok {
 		return fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
 	}
 	delete(s.entries, name)
+	if e.model != nil {
+		s.invalidate() // its model left the served set
+	}
 	if s.st != nil {
 		return s.st.Delete(name)
 	}
@@ -438,6 +472,7 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	lg.Info("sample done", "db", name, "docs", res.Docs, "queries", res.Queries,
 		telemetry.TraceKey, opts.TraceID)
 	e.model = res.Learned.Normalize(s.analyzer)
+	s.invalidate() // the served model set changed; next Rank recompiles
 	e.lastRun = res
 	e.stats.HasModel = true
 	e.stats.Terms = e.model.VocabSize()
@@ -531,70 +566,151 @@ func dbLabel(name string) string {
 
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
+// parseAlgorithm resolves an algorithm name to its selection.Algorithm.
+// "cori" (or "") selects CORI; "gloss-sum" and "gloss-ind" select the
+// GlOSS estimators, optionally with an "@l" threshold suffix (e.g.
+// "gloss-sum@0.2" for GlOSS(0.2)) in [0, 1].
+func parseAlgorithm(algName string) (selection.Algorithm, error) {
+	base, thr, hasThr := strings.Cut(algName, "@")
+	var threshold float64
+	if hasThr {
+		v, err := strconv.ParseFloat(thr, 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("service: bad algorithm threshold %q (want a number in [0,1]): %w", thr, ErrInvalid)
+		}
+		threshold = v
+	}
+	switch base {
+	case "", "cori":
+		if hasThr {
+			return nil, fmt.Errorf("service: algorithm %q does not take a threshold: %w", base, ErrInvalid)
+		}
+		return selection.CORI{}, nil
+	case "gloss-sum":
+		return selection.Gloss{Estimator: selection.GlossSum, Threshold: threshold}, nil
+	case "gloss-ind":
+		return selection.Gloss{Estimator: selection.GlossInd, Threshold: threshold}, nil
+	}
+	return nil, fmt.Errorf("service: unknown algorithm %q: %w", algName, ErrInvalid)
+}
+
+// rankScratch is the per-query working memory of the serving path — token
+// list, interned term ids, dense scores, ranking — recycled through a pool
+// so a cache-missing Rank allocates only the result it returns (and a
+// cache-hitting one only the copy it hands back).
+type rankScratch struct {
+	terms  []string
+	ids    []int32
+	scores []float64
+	ranked []selection.Ranked
+	key    []byte
+}
+
+var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
 // Rank scores every database with a learned model against the query and
 // returns them best first. algName is "cori" (default), "gloss-sum" or
-// "gloss-ind". Query text is analyzed with the service's pipeline.
+// "gloss-ind", the latter two optionally suffixed "@l" for a GlOSS
+// threshold. Query text is analyzed with the service's pipeline.
 //
 // Rank is the service's Select operation: its latency is observed into
 // service_select_seconds and its outcomes into service_selects_total /
-// service_select_errors_total.
+// service_select_errors_total. Scoring runs against the compiled snapshot
+// (snapshot.go) — no service lock is held while scoring — and results are
+// served from the epoch-keyed cache when possible (cache hits and misses
+// count into service_select_cache_hits_total / _misses_total).
 func (s *Service) Rank(query string, algName string, k int) ([]RankedDB, error) {
+	out, _, err := s.rankCached(query, algName, k)
+	return out, err
+}
+
+// rankCached is Rank plus the cache disposition for the X-Cache response
+// header: "hit" (served from cache, including single-flight waits), "miss"
+// (computed and cached), or "bypass" (cache disabled or request invalid).
+func (s *Service) rankCached(query string, algName string, k int) (_ []RankedDB, cacheStatus string, _ error) {
 	reg := s.Metrics()
 	defer reg.Timer("service_select_seconds")()
-	out, err := s.rank(query, algName, k)
+	out, status, err := s.rank(query, algName, k)
 	if err != nil {
 		reg.Counter("service_select_errors_total").Inc()
 	} else {
 		reg.Counter("service_selects_total").Inc()
 	}
-	return out, err
+	return out, status, err
 }
 
-func (s *Service) rank(query string, algName string, k int) ([]RankedDB, error) {
-	var alg selection.Algorithm
-	switch algName {
-	case "", "cori":
-		alg = selection.CORI{}
-	case "gloss-sum":
-		alg = selection.Gloss{Estimator: selection.GlossSum}
-	case "gloss-ind":
-		alg = selection.Gloss{Estimator: selection.GlossInd}
-	default:
-		return nil, fmt.Errorf("service: unknown algorithm %q: %w", algName, ErrInvalid)
-	}
-	terms := s.analyzer.Tokens(query)
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("service: query has no index terms: %w", ErrInvalid)
+func (s *Service) rank(query string, algName string, k int) ([]RankedDB, string, error) {
+	alg, err := parseAlgorithm(algName)
+	if err != nil {
+		return nil, "bypass", err
 	}
 
-	// Deterministic input order: collect the names with models, sort,
-	// then gather the models in that order.
-	s.mu.RLock()
-	sortedNames := make([]string, 0, len(s.entries))
-	for name, e := range s.entries {
-		if e.model != nil {
-			sortedNames = append(sortedNames, name)
+	scr := rankScratchPool.Get().(*rankScratch)
+	defer rankScratchPool.Put(scr)
+
+	scr.terms = s.analyzer.AppendTokens(scr.terms[:0], query)
+	if len(scr.terms) == 0 {
+		return nil, "bypass", fmt.Errorf("service: query has no index terms: %w", ErrInvalid)
+	}
+	snap := s.snapshot()
+	if snap.compiled.NumDBs() == 0 {
+		return nil, "bypass", errors.New("service: no databases have learned models yet")
+	}
+
+	cache := s.cache.Load()
+	if cache == nil {
+		return s.rankSnapshot(snap, alg, scr, k), "bypass", nil
+	}
+
+	scr.key = scr.key[:0]
+	for i, t := range scr.terms {
+		if i > 0 {
+			scr.key = append(scr.key, 0x1f) // never produced by the tokenizer
 		}
+		scr.key = append(scr.key, t...)
 	}
-	sort.Strings(sortedNames)
-	sortedModels := make([]*langmodel.Model, len(sortedNames))
-	for i, name := range sortedNames {
-		sortedModels[i] = s.entries[name].model
+	key := rankCacheKey{query: string(scr.key), alg: alg.Name(), k: k, epoch: snap.epoch}
+	e, leader := cache.acquire(key)
+	if !leader {
+		reg := s.Metrics()
+		reg.Counter("service_select_cache_hits_total").Inc()
+		<-e.ready
+		if e.err != nil {
+			return nil, "hit", e.err
+		}
+		return append([]RankedDB(nil), e.val...), "hit", nil
 	}
-	s.mu.RUnlock()
-	if len(sortedModels) == 0 {
-		return nil, errors.New("service: no databases have learned models yet")
-	}
+	s.Metrics().Counter("service_select_cache_misses_total").Inc()
+	out := s.rankSnapshot(snap, alg, scr, k)
+	cache.fulfill(e, out, nil)
+	// Hand back a copy: the cached slice is shared with future hits.
+	return append([]RankedDB(nil), out...), "miss", nil
+}
 
-	ranked := selection.Rank(alg, terms, sortedModels)
+// rankSnapshot scores and ranks against a compiled snapshot using the
+// pooled scratch buffers; only the returned result is freshly allocated.
+func (s *Service) rankSnapshot(snap *snapshotSet, alg selection.Algorithm, scr *rankScratch, k int) []RankedDB {
+	c := snap.compiled
+	scr.ids = c.AppendIDs(scr.ids[:0], scr.terms)
+	if cap(scr.scores) < c.NumDBs() {
+		scr.scores = make([]float64, c.NumDBs())
+	}
+	scr.scores = scr.scores[:c.NumDBs()]
+	ranked, ok := c.RankInto(alg, scr.ids, scr.scores, scr.ranked[:0])
+	scr.ranked = ranked[:0]
+	if !ok {
+		// parseAlgorithm only yields CORI/Gloss, which ScoreInto always
+		// accepts; reaching here means a new family was added to one side.
+		panic("service: algorithm " + alg.Name() + " is not compiled")
+	}
 	if k > 0 && k < len(ranked) {
 		ranked = ranked[:k]
 	}
 	out := make([]RankedDB, len(ranked))
 	for i, r := range ranked {
-		out[i] = RankedDB{Name: sortedNames[r.DB], Score: r.Score}
+		out[i] = RankedDB{Name: snap.names[r.DB], Score: r.Score}
 	}
-	return out, nil
+	return out
 }
 
 // Summary returns the top-k terms of a database's learned model under the

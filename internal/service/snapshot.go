@@ -1,0 +1,89 @@
+package service
+
+// Compiled selection snapshots, swapped RCU-style.
+//
+// Rank used to walk every registered model's hash maps under the service
+// read lock on each query. Model sets change rarely (a resample, a
+// registration) while selection queries arrive constantly, so the service
+// now compiles the model set into a selection.Compiled snapshot and
+// publishes it through an atomic pointer: readers Load the pointer and
+// score against immutable flat arrays — no service lock, no map lookups —
+// while writers simply bump the generation counter and let the next query
+// rebuild. Stale snapshots stay valid for readers already holding them
+// (grace period by garbage collection, the RCU property), so a resample
+// never blocks or corrupts an in-flight Rank.
+
+import (
+	"sort"
+
+	"repro/internal/langmodel"
+	"repro/internal/selection"
+)
+
+// snapshotSet is one immutable compiled view of the model set. names[i] is
+// the database compiled as index i (sorted, the order rank always used).
+type snapshotSet struct {
+	epoch    uint64
+	names    []string
+	compiled *selection.Compiled
+}
+
+// invalidate marks the published snapshot stale. Callers must hold s.mu
+// (write) — the lock orders the bump after the model-set change it
+// reflects, so a reader that observes the new generation under RLock also
+// observes the new models.
+func (s *Service) invalidate() {
+	s.gen.Add(1)
+}
+
+// snapshot returns a compiled snapshot no older than the model set at call
+// time, rebuilding at most once per generation. The fast path is two
+// atomic loads; rebuilds are single-flighted through compileMu so a
+// resample storm compiles once, not once per waiting query.
+func (s *Service) snapshot() *snapshotSet {
+	if snap := s.snap.Load(); snap != nil && snap.epoch == s.gen.Load() {
+		return snap
+	}
+	s.compileMu.Lock()
+	defer s.compileMu.Unlock()
+	if snap := s.snap.Load(); snap != nil && snap.epoch == s.gen.Load() {
+		return snap // another query rebuilt while we waited
+	}
+
+	reg := s.Metrics()
+	// Collect the models and read the generation under one read lock:
+	// writers bump gen while holding the write lock, so the pair is
+	// consistent — this snapshot is stamped with the generation of exactly
+	// the model set it compiles.
+	s.mu.RLock()
+	gen := s.gen.Load()
+	names := make([]string, 0, len(s.entries))
+	for name, e := range s.entries {
+		if e.model != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	models := make([]*langmodel.Model, len(names))
+	for i, name := range names {
+		models[i] = s.entries[name].model
+	}
+	s.mu.RUnlock()
+
+	stop := reg.Timer("service_snapshot_compile_seconds")
+	compiled := selection.Compile(models)
+	stop()
+	reg.Counter("service_snapshot_compiles_total").Inc()
+	reg.Gauge("service_snapshot_epoch").Set(int64(gen))
+	reg.Gauge("service_snapshot_terms").Set(int64(compiled.VocabSize()))
+	reg.Gauge("service_snapshot_dbs").Set(int64(compiled.NumDBs()))
+
+	snap := &snapshotSet{epoch: gen, names: names, compiled: compiled}
+	s.snap.Store(snap)
+	return snap
+}
+
+// Epoch returns the current model-set generation. It changes whenever a
+// sampling run, registration, or unregistration alters the served models;
+// result caches key on it so stale entries die with their snapshot.
+func (s *Service) Epoch() uint64 { return s.gen.Load() }
