@@ -61,6 +61,14 @@ func TestTokenizeApostrophes(t *testing.T) {
 		{"'80s music", []string{"80s", "music"}},
 		{"x'' y''z", []string{"x", "y''z"}},
 		{"naïve' 'café", []string{"naïve", "café"}},
+		// Apostrophes committed in slice mode must not be re-emitted when
+		// a later rune switches the token to folded mode (regression:
+		// "don'tX" once tokenized as "don't'x").
+		{"don'tX", []string{"don'tx"}},
+		{"0'aB", []string{"0'ab"}},
+		{"don'té", []string{"don'té"}},
+		{"a''bC", []string{"a''bc"}},
+		{"don'tX'Y", []string{"don'tx'y"}},
 	}
 	for _, c := range cases {
 		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
@@ -107,6 +115,8 @@ func TestAppendTokensMatchesTokenize(t *testing.T) {
 		"", "plain lower text", "MiXeD CaSe", "ÜBER straße", "日本語 text",
 		"a'B c'D", "x\x80y", "Don't O'Brien's 'tis ROCK'' ''ROLL",
 		"café Naïve ÉCOLE", "a2B3c4 A'9'z", strings.Repeat("Word' ", 50),
+		// Slice-mode-committed apostrophes followed by a fold transition.
+		"don'tX 0'aB don'té a''bC don'tX'Y x'yZ'w",
 	}
 	for _, in := range inputs {
 		var ref []string

@@ -38,7 +38,10 @@ func (a Analyzer) Tokens(text string) []string {
 // terms to dst, returning the extended slice. It is the allocation-free
 // form of Tokens for hot paths: recycling dst across calls reuses its
 // capacity, and the underlying tokenizer slices lower-case ASCII tokens
-// straight out of text.
+// straight out of text. Sliced tokens alias text's backing array (see
+// AppendTokens in tokenize.go), so callers that retain tokens past the
+// call must strings.Clone them; langmodel.Model already does this when
+// interning new vocabulary.
 func (a Analyzer) AppendTokens(dst []string, text string) []string {
 	base := len(dst)
 	dst = AppendTokens(dst, text)

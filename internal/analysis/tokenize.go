@@ -44,6 +44,12 @@ var tokenBufPool = sync.Pool{
 // UTF-8 lowering are built in a pooled scratch buffer, and dst's capacity
 // is reused across calls. With a recycled dst and lower-case ASCII input
 // the function performs zero heap allocations.
+//
+// Aliasing: because sliced tokens share text's backing array, retaining a
+// token keeps the entire source string reachable. Callers that store
+// tokens beyond the current request — map keys in a model or index built
+// from large documents — must copy them (strings.Clone) at the retention
+// site; transient uses (scoring a query, counting) need not.
 func AppendTokens(dst []string, text string) []string {
 	const noToken = -1
 	start := noToken // byte index where the current token began in text
@@ -96,11 +102,16 @@ func AppendTokens(dst []string, text string) []string {
 			if folded {
 				commitPending()
 				*buf = append(*buf, b)
-			} else if start == noToken {
-				start = i
+			} else {
+				if start == noToken {
+					start = i
+				}
+				// In slice mode pending apostrophes are already part of
+				// text[start:i], so extending lastLD past them commits
+				// them; zero the counter so a later switch to folded mode
+				// does not append them a second time.
+				pending = 0
 			}
-			// In slice mode pending apostrophes are already part of
-			// text[start:i], so extending lastLD past them commits them.
 			lastLD = i + 1
 			i++
 		case b >= 'A' && b <= 'Z':

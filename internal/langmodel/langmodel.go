@@ -21,6 +21,7 @@ package langmodel
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/analysis"
@@ -111,11 +112,15 @@ func (m *Model) AddDocument(tokens []string) {
 	}
 	for _, t := range distinct {
 		st, ok := m.lookup(t)
+		n := counts[t]
 		if !ok {
+			// Own the vocabulary: tokens from analysis.AppendTokens may
+			// alias the source document, and the model outlives it.
+			t = strings.Clone(t)
 			m.order = append(m.order, t)
 		}
 		st.DF++
-		st.CTF += int64(counts[t])
+		st.CTF += int64(n)
 		m.terms[t] = st
 	}
 	m.totalCTF += int64(len(tokens))
@@ -135,6 +140,9 @@ func (m *Model) bump(term string, df int, ctf int64) {
 	m.mutable()
 	st, ok := m.lookup(term)
 	if !ok {
+		// See AddDocument: new terms are cloned so the model never pins a
+		// caller's source text via an aliased token.
+		term = strings.Clone(term)
 		m.order = append(m.order, term)
 	}
 	st.DF += df

@@ -681,8 +681,22 @@ func (s *Service) rank(query string, algName string, k int) ([]RankedDB, string,
 		return append([]RankedDB(nil), e.val...), "hit", nil
 	}
 	s.Metrics().Counter("service_select_cache_misses_total").Inc()
+	// The leader owes fulfill exactly once. If scoring panics (e.g.
+	// rankSnapshot's defensive "not compiled" panic, recovered by
+	// net/http), publish an error — unblocking every waiter and evicting
+	// the entry — before letting the panic propagate.
+	fulfilled := false
+	defer func() {
+		if r := recover(); r != nil {
+			if !fulfilled {
+				cache.fulfill(e, nil, fmt.Errorf("service: rank panicked: %v", r))
+			}
+			panic(r)
+		}
+	}()
 	out := s.rankSnapshot(snap, alg, scr, k)
 	cache.fulfill(e, out, nil)
+	fulfilled = true
 	// Hand back a copy: the cached slice is shared with future hits.
 	return append([]RankedDB(nil), out...), "miss", nil
 }
