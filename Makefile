@@ -11,11 +11,11 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Tier-1 benchmark set for the regression gate (see bench-check).
-BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored
+BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile
 # Benchmarks that must be present in every recording; benchdiff record
 # fails otherwise, so a renamed/filtered-out rank benchmark cannot
 # silently drop out of the regression gate.
-BENCH_REQUIRE := Rank100DBs
+BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile
 # Repeated runs per benchmark; benchdiff keeps the median, which is what
 # makes a 25% threshold usable on noisy shared CI machines.
 BENCH_COUNT ?= 5
@@ -26,7 +26,7 @@ BENCH_OUT ?= BENCH_current.json
 COVER_FLOOR ?= 86.0
 
 .PHONY: all build test race bench bench-all bench-check bench-baseline \
-	cover vet lint chaos fuzz-smoke ci clean
+	cover vet lint chaos fuzz-smoke snapshot-fuzz ci clean
 
 all: build test
 
@@ -101,8 +101,14 @@ fuzz-smoke:
 	$(GO) test ./internal/langmodel -run xxx -fuzz '^FuzzRead$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/langmodel -run xxx -fuzz '^FuzzReadBinary$$' -fuzztime=$(FUZZTIME)
 
+# Snapshot decoder fuzz smoke: mutated headers, section tables, and
+# payloads against the QBSNAP1 reader. The decoder must reject every
+# corruption with an error, never a panic or a silently-wrong Compiled.
+snapshot-fuzz:
+	$(GO) test ./internal/selection -run xxx -fuzz '^FuzzDecodeSnapshot$$' -fuzztime=$(FUZZTIME)
+
 # The full local gate: everything CI runs, in the same order.
-ci: build vet lint test race chaos fuzz-smoke cover bench-check
+ci: build vet lint test race chaos fuzz-smoke snapshot-fuzz cover bench-check
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/selection"
+	"repro/internal/store"
 )
 
 var (
@@ -593,6 +594,86 @@ func BenchmarkRank100DBs(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotLoad prices a warm start: loading, verifying, and
+// decoding the persisted compiled snapshot of a 100-database federation —
+// the work a restarted service does instead of recompiling every model.
+// The mmap arm is the production path (numeric sections sliced in place);
+// the heap arm is the portable fallback. Sub-millisecond per op is the
+// design target.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	models, _ := rankBenchModels(100)
+	names := make([]string, len(models))
+	fps := make([]uint64, len(models))
+	for i, m := range models {
+		names[i] = fmt.Sprintf("db%03d", i)
+		fps[i] = m.Fingerprint()
+	}
+	snap := &selection.Snapshot{
+		Epoch:        1,
+		Names:        names,
+		Fingerprints: fps,
+		Compiled:     selection.Compile(models),
+	}
+	for _, arm := range []struct {
+		name        string
+		disableMmap bool
+	}{{"path=mmap", false}, {"path=heap", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			ss, err := store.OpenSnapshots(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ss.DisableMmap = arm.disableMmap
+			size, err := ss.Save(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loaded, _, err := ss.Load()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if loaded.Compiled.NumDBs() != len(models) {
+					b.Fatal("short snapshot")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalRecompile prices rebuilding the compiled snapshot
+// after one database of a 100-database federation is resampled: the
+// incremental path (Patch splices the changed rows and bulk-copies the
+// rest) against the full recompile it replaces. The patch arm's cost
+// tracks the changed model's vocabulary, not the federation.
+func BenchmarkIncrementalRecompile(b *testing.B) {
+	models, _ := rankBenchModels(100)
+	base := selection.Compile(models)
+	replacement, _ := rankBenchModels(1)
+	patches := []selection.ModelPatch{{DB: 42, Old: models[42], New: replacement[0]}}
+	b.Run("path=patch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := base.Patch(patches); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("path=full", func(b *testing.B) {
+		next := append([]*langmodel.Model(nil), models...)
+		next[42] = replacement[0]
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if c := selection.Compile(next); c.NumDBs() != len(models) {
+				b.Fatal("short compile")
+			}
+		}
+	})
 }
 
 // BenchmarkTokenizeASCII prices the zero-allocation tokenizer fast path:

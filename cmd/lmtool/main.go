@@ -7,10 +7,16 @@
 //	lmtool convert <in> <out>               # JSON <-> binary by extension
 //	lmtool compare <learned> <actual>       # the paper's §4.3 metrics
 //	lmtool dump <model>                     # TSV to stdout
+//	lmtool snapshot <dir|segment>           # inspect a compiled snapshot
 //
 // Model files are read as the compact binary format when their extension
 // is .qblm and as JSON otherwise; convert writes whichever format the
 // output extension selects.
+//
+// snapshot takes a snapshot store directory (it follows the MANIFEST) or
+// a .qbsnap segment file directly, prints the header and section table,
+// and verifies every section checksum — the first tool to reach for when
+// a service refuses a warm start.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/langmodel"
 	"repro/internal/metrics"
+	"repro/internal/selection"
+	"repro/internal/store"
 	"repro/internal/summarize"
 )
 
@@ -43,6 +51,8 @@ func main() {
 		err = runCompare(args)
 	case "dump":
 		err = runDump(args)
+	case "snapshot":
+		err = runSnapshot(args)
 	default:
 		usage()
 	}
@@ -53,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lmtool {info|top|convert|compare|dump} ...")
+	fmt.Fprintln(os.Stderr, "usage: lmtool {info|top|convert|compare|dump|snapshot} ...")
 	os.Exit(2)
 }
 
@@ -190,6 +200,60 @@ func runCompare(args []string) error {
 	fmt.Printf("spearman (ties):  %.4f\n", metrics.Spearman(learned, actual, langmodel.ByDF))
 	fmt.Printf("kendall tau-b:    %.4f\n", metrics.KendallTau(learned, actual, langmodel.ByDF))
 	fmt.Printf("rdiff:            %.5f\n", metrics.Rdiff(learned, actual, langmodel.ByDF))
+	return nil
+}
+
+func runSnapshot(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("snapshot needs a store directory or a %s segment", store.SegmentExt)
+	}
+	path := args[0]
+	if fi, err := os.Stat(path); err != nil {
+		return err
+	} else if fi.IsDir() {
+		ss, err := store.OpenSnapshots(path)
+		if err != nil {
+			return err
+		}
+		m, err := ss.Manifest()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("manifest:    seq %d, epoch %d, %d bytes, crc %08x\n", m.Seq, m.Epoch, m.Size, m.CRC)
+		path = ss.SegmentPath(m)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	info, err := selection.InspectSnapshot(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("segment:     %s (%d bytes)\n", path, len(data))
+	fmt.Printf("version:     %d\n", info.Version)
+	fmt.Printf("epoch:       %d\n", info.Epoch)
+	fmt.Printf("databases:   %d\n", info.DBs)
+	fmt.Printf("terms:       %d\n", info.Terms)
+	fmt.Printf("postings:    %d\n", info.Postings)
+	fmt.Printf("avg cw:      %.2f\n", info.AvgCW)
+	fmt.Printf("sections:\n")
+	bad := 0
+	for _, s := range info.Sections {
+		status := "ok"
+		if !s.OK {
+			status = "CORRUPT"
+			bad++
+		}
+		fmt.Printf("  %-10s off %8d  len %10d  crc %08x  %s\n", s.Name, s.Offset, s.Length, s.CRC, status)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d section(s) failed checksum verification", bad)
+	}
+	if _, err := selection.DecodeSnapshot(data); err != nil {
+		return fmt.Errorf("sections verify but snapshot does not decode: %w", err)
+	}
+	fmt.Printf("integrity:   all sections verified; snapshot decodes cleanly\n")
 	return nil
 }
 

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	selectd [-addr :8080] [-store ./models] [-demo n] [-timeout 10s] [-retries 3]
+//	selectd [-addr :8080] [-store ./models] [-snapshot-dir ./snap] [-demo n] [-timeout 10s] [-retries 3]
+//
+// With -snapshot-dir, the compiled selection snapshot is persisted in a
+// checksummed binary segment and adopted on restart (a warm start: the
+// first /rank serves without recompiling the federation); -snapshot-persist
+// controls whether newly compiled snapshots are saved back (default true).
 //
 // With -demo n, selectd also spins up n in-process demo databases (served
 // over netsearch, as real remote databases would be), registers them, and
@@ -43,6 +48,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	storeDir := flag.String("store", "", "directory for persisted language models (empty = in-memory only)")
+	snapDir := flag.String("snapshot-dir", "", "directory for persisted compiled selection snapshots (empty = compile on first query)")
+	snapPersist := flag.Bool("snapshot-persist", true, "with -snapshot-dir, save each newly compiled snapshot on publish")
 	demo := flag.Int("demo", 0, "spin up this many demo databases and sample them")
 	demoDocs := flag.Int("demo-docs", 600, "documents per demo database")
 	sampleDocs := flag.Int("demo-sample", 150, "sampling budget per demo database")
@@ -78,6 +85,16 @@ func main() {
 	defer svc.Close()
 	svc.SetMetrics(reg)
 	svc.SetLogger(logger)
+	var snaps *store.SnapshotStore
+	if *snapDir != "" {
+		var err error
+		snaps, err = store.OpenSnapshots(*snapDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		svc.SetSnapshotStore(snaps, *snapPersist)
+		fmt.Printf("persisting compiled snapshots under %s\n", snaps.Dir())
+	}
 	svc.SetDialOptions(netsearch.Options{
 		Timeout: *timeout,
 		Retry:   netsearch.RetryPolicy{Attempts: *retries},
@@ -100,12 +117,37 @@ func main() {
 			if err := svc.Register(db.Name, ns.Addr()); err != nil {
 				fail("%v", err)
 			}
+			// A restart with -store resumes from the persisted model
+			// instead of re-sampling: query-based sampling seeds its
+			// queries off the learned model, so re-sampling would walk a
+			// different path, change the model, and (correctly) invalidate
+			// any persisted compiled snapshot.
+			if st != nil {
+				if m, err := st.Get(db.Name); err == nil {
+					fmt.Printf("  %s @ %s: model resumed from store (%d terms)\n",
+						db.Name, ns.Addr(), m.VocabSize())
+					continue
+				}
+			}
 			status, err := svc.Sample(db.Name, service.SampleOptions{Docs: *sampleDocs})
 			if err != nil {
 				fail("sampling %s: %v", db.Name, err)
 			}
 			fmt.Printf("  %s @ %s: %d docs sampled, %d terms learned\n",
 				db.Name, ns.Addr(), status.SampledDocs, status.Terms)
+		}
+	}
+
+	// Warm start: with every database registered (and persisted models
+	// loaded), adopt the persisted compiled snapshot if it still matches
+	// the model set — the first /rank then serves without compiling. Any
+	// mismatch or corruption just means a cold start: the first query
+	// compiles from the models, and the result is re-persisted on publish.
+	if snaps != nil {
+		if err := svc.LoadSnapshot(); err != nil {
+			logger.Warn("cold start: compiled snapshot not adopted", "err", err.Error())
+		} else {
+			fmt.Printf("warm start: compiled snapshot loaded from %s\n", snaps.Dir())
 		}
 	}
 

@@ -20,6 +20,7 @@ package faulty
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -253,4 +254,45 @@ func Dialer(opts ConnOptions) func(addr string) (net.Conn, error) {
 		mu.Unlock()
 		return WrapConn(conn, connOpts), nil
 	}
+}
+
+// Writer wraps an io.Writer and deterministically truncates the n-th
+// Write (1-based) mid-buffer, delivering the first half and failing every
+// write after it — a process crash in the middle of flushing a file. It
+// is the filesystem sibling of Conn's torn frame, built for the snapshot
+// store's crash-safety tests (store.SnapshotStore.WrapWriter).
+type Writer struct {
+	inner io.Writer
+
+	mu       sync.Mutex
+	failCall int
+	writes   int
+	dead     bool
+}
+
+// WrapWriter returns a Writer that truncates the failCall-th Write.
+// failCall <= 0 never injects.
+func WrapWriter(inner io.Writer, failCall int) *Writer {
+	return &Writer{inner: inner, failCall: failCall}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.writes++
+	call := w.writes
+	dead := w.dead
+	if w.failCall > 0 && call == w.failCall {
+		w.dead = true
+	}
+	trunc := w.dead && !dead
+	w.mu.Unlock()
+	if dead {
+		return 0, fmt.Errorf("write %d: %w", call, ErrInjected)
+	}
+	if trunc {
+		n, _ := w.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("write %d: %w", call, ErrInjected)
+	}
+	return w.inner.Write(p)
 }

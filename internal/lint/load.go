@@ -173,17 +173,24 @@ func hasGoFiles(dir string) (bool, error) {
 		return false, err
 	}
 	for _, e := range entries {
-		if isSourceFile(e) {
+		if isSourceFile(dir, e) {
 			return true, nil
 		}
 	}
 	return false, nil
 }
 
-func isSourceFile(e os.DirEntry) bool {
+func isSourceFile(dir string, e os.DirEntry) bool {
 	name := e.Name()
-	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+	if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+		strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	// Honor build constraints the way the real build does: packages with
+	// per-platform file pairs (//go:build unix vs !unix) must load only
+	// the host's half, or type-checking sees every symbol declared twice.
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // loadDir parses and type-checks the package in dir, memoized.
@@ -215,7 +222,7 @@ func (l *Loader) loadLocal(path, dir string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range entries {
-		if !isSourceFile(e) {
+		if !isSourceFile(dir, e) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
@@ -230,9 +237,9 @@ func (l *Loader) loadLocal(path, dir string) (*Package, error) {
 
 	pkg := &Package{PkgPath: path, Dir: dir, Fset: l.Fset, Files: files}
 	pkg.Info = &types.Info{
-		Types:     make(map[ast.Expr]types.TypeAndValue),
-		Defs:      make(map[*ast.Ident]types.Object),
-		Uses:      make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{

@@ -36,10 +36,16 @@ import (
 // for unsynchronized concurrent use; compile a new one (and swap pointers)
 // when the underlying models change.
 type Compiled struct {
-	n    int
-	ids  map[string]int32
-	docs []float64 // per-database document counts
-	cw   []float64 // per-database collection sizes (total ctf)
+	n   int
+	ids map[string]int32
+	// overlay holds terms interned after the base compile (by Patch); it is
+	// checked after ids and kept small relative to it. terms is the full
+	// dictionary in id order (base then overlay) — the iteration order the
+	// snapshot codec and the patcher need, since map order is randomized.
+	overlay map[string]int32
+	terms   []string
+	docs    []float64 // per-database document counts
+	cw      []float64 // per-database collection sizes (total ctf)
 
 	avgCW float64   // mean collection size, the CORI cw normalizer
 	idf   []float64 // per-term CORI I component (precomputed icf log factor)
@@ -77,6 +83,7 @@ func Compile(models []*langmodel.Model) *Compiled {
 			if !ok {
 				id = int32(len(perTermDB))
 				c.ids[t] = id
+				c.terms = append(c.terms, t)
 				perTermDB = append(perTermDB, nil)
 				perTermDF = append(perTermDF, nil)
 			}
@@ -127,16 +134,25 @@ func Compile(models []*langmodel.Model) *Compiled {
 // NumDBs returns the number of compiled databases.
 func (c *Compiled) NumDBs() int { return c.n }
 
-// VocabSize returns the number of interned terms across all models.
-func (c *Compiled) VocabSize() int { return len(c.ids) }
+// VocabSize returns the number of interned terms across all models. After
+// a Patch this may include terms whose last posting was removed; they keep
+// an empty posting row, which every scorer treats exactly like a term
+// outside the dictionary.
+func (c *Compiled) VocabSize() int { return len(c.terms) }
 
 // Postings returns the total number of (term, database) statistics pairs.
 func (c *Compiled) Postings() int { return len(c.postDB) }
 
+// TermAt returns the interned term with id i, 0 <= i < VocabSize().
+func (c *Compiled) TermAt(i int) string { return c.terms[i] }
+
 // ID resolves a term to its interned id; ok is false for terms no model
 // contains.
 func (c *Compiled) ID(term string) (int32, bool) {
-	id, ok := c.ids[term]
+	if id, ok := c.ids[term]; ok {
+		return id, true
+	}
+	id, ok := c.overlay[term]
 	return id, ok
 }
 
@@ -146,6 +162,8 @@ func (c *Compiled) ID(term string) (int32, bool) {
 func (c *Compiled) AppendIDs(dst []int32, terms []string) []int32 {
 	for _, t := range terms {
 		if id, ok := c.ids[t]; ok {
+			dst = append(dst, id)
+		} else if id, ok := c.overlay[t]; ok {
 			dst = append(dst, id)
 		} else {
 			dst = append(dst, -1)

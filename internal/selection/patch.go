@@ -1,0 +1,303 @@
+package selection
+
+// Incremental recompilation of Compiled snapshots.
+//
+// A resample changes one database's model while the other N-1 stay put,
+// yet Compile re-interns every term of every model — O(federation) map
+// hashing for an O(1/N) change. Patch instead edits only the structures
+// the changed databases touch: their posting-row entries, the CORI idf of
+// exactly the terms whose cf changed, and the per-database columns. The
+// untouched majority of the CSR arrays moves by bulk copy (no hashing, no
+// string work), so a single-database patch of a large federation costs a
+// few memcpys plus work proportional to the changed models' vocabularies.
+//
+// Equivalence contract (the same one Compile carries against the map
+// scorers): a patched snapshot produces bit-for-bit the float64 scores of
+// a from-scratch Compile over the new model list, for every compiled
+// algorithm family. Three facts make that hold:
+//
+//   - posting rows are keyed by database index in ascending order, and a
+//     patch preserves both the membership and the order a fresh compile
+//     would produce, so each scorer sees the identical addend stream;
+//   - avg_cw is re-summed over the per-database cw column in index order —
+//     the exact accumulation sequence Compile performs — rather than
+//     patched arithmetically (IEEE addition is not associative);
+//   - idf is recomputed from scratch (math.Log is exactly rounded for
+//     these operands' purposes — more to the point, it is deterministic)
+//     for precisely the terms whose posting count changed.
+//
+// Two benign representational differences remain, neither observable
+// through scoring: terms first introduced by a patch get ids at the end of
+// the dictionary instead of first-encounter positions, and terms whose
+// last posting disappeared stay interned with an empty row (which every
+// scorer already treats exactly like an out-of-dictionary term — CORI adds
+// the default belief everywhere, GlOSS-Sum adds nothing, GlOSS-Ind zeroes
+// through df=0).
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/langmodel"
+)
+
+// ModelPatch replaces the model compiled at index DB. Old must be the
+// model the receiver snapshot was compiled (or previously patched) from at
+// that index — it tells the patcher which posting rows to visit without
+// scanning the whole CSR — and New is its replacement.
+type ModelPatch struct {
+	DB  int
+	Old *langmodel.Model
+	New *langmodel.Model
+}
+
+// rowChange is one (term, database) posting edit.
+type rowChange struct {
+	db int32
+	df float64 // meaningful unless remove
+	// remove deletes the db's posting; otherwise the posting is set
+	// (replacing an existing entry or inserting a new one — add tells
+	// which, so row size deltas are known without searching the row).
+	add    bool
+	remove bool
+}
+
+// overlayFlattenRatio: when the overlay dictionary outgrows this fraction
+// of the base, lookups pay two map probes too often and the next patch
+// flattens both into one map.
+const overlayFlattenRatio = 8
+
+// Patch returns a new Compiled reflecting the model replacements in
+// patches, leaving the receiver untouched (snapshots are immutable and may
+// still be serving queries). The database count and order must be
+// unchanged — registrations and unregistrations renumber databases and
+// need a full Compile. Patches must target distinct indices.
+func (c *Compiled) Patch(patches []ModelPatch) (*Compiled, error) {
+	seen := make(map[int]bool, len(patches))
+	for _, p := range patches {
+		if p.DB < 0 || p.DB >= c.n {
+			return nil, fmt.Errorf("selection: patch index %d out of range [0,%d)", p.DB, c.n)
+		}
+		if p.Old == nil || p.New == nil {
+			return nil, fmt.Errorf("selection: patch for db %d has a nil model", p.DB)
+		}
+		if seen[p.DB] {
+			return nil, fmt.Errorf("selection: duplicate patch for db %d", p.DB)
+		}
+		seen[p.DB] = true
+	}
+
+	next := &Compiled{
+		n:    c.n,
+		ids:  c.ids,
+		docs: slices.Clone(c.docs),
+		cw:   slices.Clone(c.cw),
+	}
+
+	// Per-database columns, then avg_cw re-summed in index order — the
+	// same float64 addition sequence Compile performs over the new models.
+	for _, p := range patches {
+		next.docs[p.DB] = float64(p.New.Docs())
+		next.cw[p.DB] = float64(p.New.TotalCTF())
+	}
+	var avgCW float64
+	for _, w := range next.cw {
+		avgCW += w
+	}
+	if next.n > 0 {
+		avgCW /= float64(next.n)
+	}
+	if avgCW == 0 {
+		avgCW = 1
+	}
+	next.avgCW = avgCW
+
+	// Collect posting edits per term id, plus brand-new terms in
+	// deterministic first-encounter order (patch order, then each New
+	// model's insertion order — mirroring Compile's interning discipline).
+	edits := make(map[int32][]rowChange)
+	var (
+		newTerms   []string
+		newRows    [][]rowChange
+		newTermIDs map[string]int32
+	)
+	oldVocab := len(c.terms)
+	var patchErr error
+	for _, p := range patches {
+		db := int32(p.DB)
+		p.New.Range(func(t string, st langmodel.TermStats) bool {
+			if id, ok := c.ID(t); ok {
+				_, inOld := p.Old.Stats(t)
+				edits[id] = append(edits[id], rowChange{db: db, df: float64(st.DF), add: !inOld})
+				return true
+			}
+			if newTermIDs == nil {
+				newTermIDs = make(map[string]int32)
+			}
+			id, ok := newTermIDs[t]
+			if !ok {
+				id = int32(len(newTerms))
+				newTermIDs[t] = id
+				newTerms = append(newTerms, t)
+				newRows = append(newRows, nil)
+			}
+			newRows[id] = append(newRows[id], rowChange{db: db, df: float64(st.DF), add: true})
+			return true
+		})
+		p.Old.Range(func(t string, _ langmodel.TermStats) bool {
+			if p.New.Contains(t) {
+				return true // replaced above
+			}
+			id, ok := c.ID(t)
+			if !ok {
+				// Old was not the compiled model; the CSR has no posting to
+				// remove and the patch would silently diverge.
+				patchErr = fmt.Errorf("selection: patch old model for db %d has term %q unknown to the snapshot", p.DB, t)
+				return false
+			}
+			edits[id] = append(edits[id], rowChange{db: db, remove: true})
+			return true
+		})
+		if patchErr != nil {
+			return nil, patchErr
+		}
+	}
+
+	// Dictionary: the base map is shared; new terms go to a copied overlay
+	// so sibling snapshots never observe the mutation. An overgrown overlay
+	// is flattened into a single map.
+	next.terms = c.terms
+	next.overlay = c.overlay
+	if len(newTerms) > 0 {
+		next.terms = make([]string, oldVocab, oldVocab+len(newTerms))
+		copy(next.terms, c.terms)
+		next.terms = append(next.terms, newTerms...)
+		next.overlay = make(map[string]int32, len(c.overlay)+len(newTerms))
+		for t, id := range c.overlay {
+			next.overlay[t] = id
+		}
+		for i, t := range newTerms {
+			next.overlay[t] = int32(oldVocab + i)
+		}
+		if len(next.overlay)*overlayFlattenRatio > len(next.ids) {
+			flat := make(map[string]int32, len(next.terms))
+			for i, t := range next.terms {
+				flat[t] = int32(i)
+			}
+			next.ids, next.overlay = flat, nil
+		}
+	}
+	vocab := len(next.terms)
+
+	// Sized CSR rebuild: row size deltas are known from the edit kinds, so
+	// the new arrays are allocated exactly and filled in one pass — bulk
+	// copies across unaffected runs, a sorted merge at each edited row.
+	affected := make([]int32, 0, len(edits))
+	delta := 0
+	for id, chs := range edits {
+		affected = append(affected, id)
+		for _, ch := range chs {
+			switch {
+			case ch.remove:
+				delta--
+			case ch.add:
+				delta++
+			}
+		}
+	}
+	slices.Sort(affected)
+	newPost := len(c.postDB) + delta
+	for _, row := range newRows {
+		newPost += len(row)
+	}
+	next.postStart = make([]int32, vocab+1)
+	next.postDB = make([]int32, 0, newPost)
+	next.postDF = make([]float64, 0, newPost)
+	next.idf = make([]float64, vocab)
+	copy(next.idf, c.idf)
+
+	prev := int32(0)
+	for _, id := range affected {
+		// Unaffected run [prev, id): rows shift wholesale.
+		next.copyRows(c, prev, id)
+		chs := edits[id]
+		slices.SortFunc(chs, func(a, b rowChange) int { return int(a.db) - int(b.db) })
+		next.postStart[id] = int32(len(next.postDB))
+		next.mergeRow(c, id, chs)
+		next.idf[id] = next.termIDF(id)
+		prev = id + 1
+	}
+	next.copyRows(c, prev, int32(oldVocab))
+	for i, row := range newRows {
+		id := int32(oldVocab + i)
+		slices.SortFunc(row, func(a, b rowChange) int { return int(a.db) - int(b.db) })
+		next.postStart[id] = int32(len(next.postDB))
+		for _, ch := range row {
+			next.postDB = append(next.postDB, ch.db)
+			next.postDF = append(next.postDF, ch.df)
+		}
+		next.idf[id] = next.termIDF(id)
+	}
+	next.postStart[vocab] = int32(len(next.postDB))
+	return next, nil
+}
+
+// copyRows bulk-copies term rows [from, to) of src (with their postStart
+// offsets shifted to the current write position) onto the end of c's CSR.
+func (c *Compiled) copyRows(src *Compiled, from, to int32) {
+	if from >= to {
+		return
+	}
+	shift := int32(len(c.postDB)) - src.postStart[from]
+	for id := from; id < to; id++ {
+		c.postStart[id] = src.postStart[id] + shift
+	}
+	lo, hi := src.postStart[from], src.postStart[to]
+	c.postDB = append(c.postDB, src.postDB[lo:hi]...)
+	c.postDF = append(c.postDF, src.postDF[lo:hi]...)
+}
+
+// mergeRow writes term id's patched posting row: the old sorted row merged
+// with the (sorted, distinct-db) changes, ascending by database.
+func (c *Compiled) mergeRow(src *Compiled, id int32, chs []rowChange) {
+	pos, end := src.postStart[id], src.postStart[id+1]
+	j := 0
+	for pos < end || j < len(chs) {
+		switch {
+		case j == len(chs) || (pos < end && src.postDB[pos] < chs[j].db):
+			c.postDB = append(c.postDB, src.postDB[pos])
+			c.postDF = append(c.postDF, src.postDF[pos])
+			pos++
+		case pos == end || chs[j].db < src.postDB[pos]:
+			// A db the old row does not contain: insert a set, and let a
+			// remove fall through as a no-op (only reachable if Old was not
+			// the compiled model; the merge stays structurally sound).
+			if !chs[j].remove {
+				c.postDB = append(c.postDB, chs[j].db)
+				c.postDF = append(c.postDF, chs[j].df)
+			}
+			j++
+		default: // same db: replace or remove
+			if !chs[j].remove {
+				c.postDB = append(c.postDB, chs[j].db)
+				c.postDF = append(c.postDF, chs[j].df)
+			}
+			pos++
+			j++
+		}
+	}
+}
+
+// termIDF computes the CORI I component for term id's posting count,
+// exactly as Compile does. It is called right after the row is written, so
+// the row occupies the CSR tail (postStart[id+1] is not yet set) and cf is
+// the distance from the row's start to the tail. A term with no postings
+// left gets 0, which scores identically to a term outside the dictionary.
+func (c *Compiled) termIDF(id int32) float64 {
+	cf := len(c.postDB) - int(c.postStart[id])
+	if cf == 0 {
+		return 0
+	}
+	return math.Log((float64(c.n)+0.5)/float64(cf)) / math.Log(float64(c.n)+1.0)
+}

@@ -1,0 +1,204 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/langmodel"
+	"repro/internal/randx"
+)
+
+// assertPatchEquivalent checks the Patch contract against a from-scratch
+// compile of the same model list: identical database columns, identical
+// per-term idf and posting rows (matched by term string — ids may differ,
+// since patch-introduced terms take appended ids), and nothing extra in
+// the patched snapshot beyond score-inert ghost terms (empty row, idf 0).
+func assertPatchEquivalent(t *testing.T, trial int, got, want *Compiled) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("trial %d: %d dbs, want %d", trial, got.n, want.n)
+	}
+	if math.Float64bits(got.avgCW) != math.Float64bits(want.avgCW) {
+		t.Fatalf("trial %d: avgCW %v != %v", trial, got.avgCW, want.avgCW)
+	}
+	for i := range want.docs {
+		if math.Float64bits(got.docs[i]) != math.Float64bits(want.docs[i]) ||
+			math.Float64bits(got.cw[i]) != math.Float64bits(want.cw[i]) {
+			t.Fatalf("trial %d: db %d columns (%v,%v) != (%v,%v)",
+				trial, i, got.docs[i], got.cw[i], want.docs[i], want.cw[i])
+		}
+	}
+	row := func(c *Compiled, id int32) ([]int32, []float64) {
+		return c.postDB[c.postStart[id]:c.postStart[id+1]], c.postDF[c.postStart[id]:c.postStart[id+1]]
+	}
+	for wid := int32(0); wid < int32(len(want.terms)); wid++ {
+		term := want.terms[wid]
+		gid, ok := got.ID(term)
+		if !ok {
+			t.Fatalf("trial %d: patched snapshot lost term %q", trial, term)
+		}
+		if math.Float64bits(got.idf[gid]) != math.Float64bits(want.idf[wid]) {
+			t.Fatalf("trial %d: term %q idf %v != %v", trial, term, got.idf[gid], want.idf[wid])
+		}
+		gdb, gdf := row(got, gid)
+		wdb, wdf := row(want, wid)
+		if len(gdb) != len(wdb) {
+			t.Fatalf("trial %d: term %q row has %d postings, want %d", trial, term, len(gdb), len(wdb))
+		}
+		for i := range wdb {
+			if gdb[i] != wdb[i] || math.Float64bits(gdf[i]) != math.Float64bits(wdf[i]) {
+				t.Fatalf("trial %d: term %q posting %d (%d,%v) != (%d,%v)",
+					trial, term, i, gdb[i], gdf[i], wdb[i], wdf[i])
+			}
+		}
+	}
+	for gid := int32(0); gid < int32(len(got.terms)); gid++ {
+		if _, ok := want.ID(got.terms[gid]); ok {
+			continue
+		}
+		// A term every model dropped: it may linger interned, but only as a
+		// ghost that scores exactly like an out-of-dictionary term.
+		if got.postStart[gid] != got.postStart[gid+1] || got.idf[gid] != 0 {
+			t.Fatalf("trial %d: vanished term %q kept postings or idf", trial, got.terms[gid])
+		}
+	}
+}
+
+// TestPatchMatchesFullCompile is the incremental-recompilation property
+// test: across random model sets, random replacement subsets, and chained
+// patches (a patch applied to an already-patched snapshot), the patched
+// snapshot must equal a from-scratch Compile of the final model list —
+// structurally (rows, columns, idf, Float64bits for Float64bits) and
+// through every compiled scorer against the map-based gold standard.
+func TestPatchMatchesFullCompile(t *testing.T) {
+	src := randx.New(0xbadc0de)
+	for trial := 0; trial < 40; trial++ {
+		nDBs := 1 + src.Intn(20)
+		models := randomModels(src, nDBs, 40)
+		snap := Compile(models)
+
+		// Two rounds of patching: the second patches the first's output, so
+		// overlay dictionaries and patched-row re-patching get exercised.
+		// Replacements draw from a 60-term pool — terms t040..t059 are new
+		// to the snapshot and take appended ids.
+		for round := 0; round < 2; round++ {
+			k := 1 + src.Intn(nDBs)
+			patches := make([]ModelPatch, 0, k)
+			for _, idx := range src.Perm(nDBs)[:k] {
+				repl := randomModels(src, 1, 60)[0]
+				patches = append(patches, ModelPatch{DB: idx, Old: models[idx], New: repl})
+				models[idx] = repl
+			}
+			var err error
+			snap, err = snap.Patch(patches)
+			if err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+		}
+
+		full := Compile(models)
+		assertPatchEquivalent(t, trial, snap, full)
+
+		for q := 0; q < 4; q++ {
+			qlen := 1 + src.Intn(6)
+			query := make([]string, qlen)
+			for i := range query {
+				if src.Intn(8) == 0 {
+					query[i] = "unknown-term"
+				} else {
+					query[i] = fmt.Sprintf("t%03d", src.Intn(60))
+				}
+			}
+			ids := snap.AppendIDs(nil, query)
+			scores := make([]float64, nDBs)
+			for _, alg := range compiledAlgorithms() {
+				want := alg.Scores(query, models)
+				if !snap.ScoreInto(alg, ids, scores) {
+					t.Fatalf("ScoreInto rejected %s", alg.Name())
+				}
+				for i := range want {
+					if math.Float64bits(scores[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("trial %d %s: db %d patched score %v != map score %v (query %v)",
+							trial, alg.Name(), i, scores[i], want[i], query)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPatchLeavesReceiverUntouched pins immutability: a snapshot still
+// serving queries must not observe a sibling's patch.
+func TestPatchLeavesReceiverUntouched(t *testing.T) {
+	models := threeDBs()
+	base := Compile(models)
+	query := []string{"apple", "stock"}
+	before := base.Rank(CORI{}, query)
+
+	repl := langmodel.New()
+	repl.SetDocs(7)
+	repl.AddTerm("apple", langmodel.TermStats{DF: 3, CTF: 9})
+	repl.AddTerm("zebra", langmodel.TermStats{DF: 1, CTF: 1})
+	if _, err := base.Patch([]ModelPatch{{DB: 0, Old: models[0], New: repl}}); err != nil {
+		t.Fatal(err)
+	}
+
+	after := base.Rank(CORI{}, query)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("patch mutated its receiver: %+v -> %+v", before, after)
+		}
+	}
+	if _, ok := base.ID("zebra"); ok {
+		t.Fatal("patch leaked a new term into its receiver's dictionary")
+	}
+}
+
+// TestPatchRejectsBadArguments covers the caller-mistake surface: out of
+// range indices, nil models, duplicate targets, and an Old model the
+// snapshot was not compiled from.
+func TestPatchRejectsBadArguments(t *testing.T) {
+	models := threeDBs()
+	c := Compile(models)
+	ok := langmodel.New()
+	ok.SetDocs(1)
+	ok.AddTerm("apple", langmodel.TermStats{DF: 1, CTF: 1})
+
+	cases := []struct {
+		name    string
+		patches []ModelPatch
+	}{
+		{"negative index", []ModelPatch{{DB: -1, Old: models[0], New: ok}}},
+		{"index past end", []ModelPatch{{DB: 3, Old: models[0], New: ok}}},
+		{"nil old", []ModelPatch{{DB: 0, Old: nil, New: ok}}},
+		{"nil new", []ModelPatch{{DB: 0, Old: models[0], New: nil}}},
+		{"duplicate db", []ModelPatch{{DB: 0, Old: models[0], New: ok}, {DB: 0, Old: models[0], New: ok}}},
+	}
+	for _, tc := range cases {
+		if _, err := c.Patch(tc.patches); err == nil {
+			t.Errorf("%s: Patch accepted it", tc.name)
+		}
+	}
+
+	// Old claims a term the snapshot never interned: the patch cannot know
+	// which row to edit and must refuse rather than silently diverge.
+	stranger := langmodel.New()
+	stranger.SetDocs(1)
+	stranger.AddTerm("never-compiled", langmodel.TermStats{DF: 1, CTF: 1})
+	if _, err := c.Patch([]ModelPatch{{DB: 0, Old: stranger, New: ok}}); err == nil {
+		t.Error("Patch accepted an Old model foreign to the snapshot")
+	}
+}
+
+// TestPatchEmptyPatchList: a no-op patch must still be a valid, equivalent
+// snapshot (it re-sums avgCW, which must land on the identical float64).
+func TestPatchEmptyPatchList(t *testing.T) {
+	models := threeDBs()
+	c := Compile(models)
+	p, err := c.Patch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPatchEquivalent(t, 0, p, c)
+}

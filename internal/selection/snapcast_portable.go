@@ -1,0 +1,10 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || wasm || loong64 || ppc64le || mips64le || mipsle)
+
+package selection
+
+// Big-endian (or unknown-endianness) fallback: no zero-copy views; the
+// decoder reads every section into freshly allocated, byte-swapped slices.
+
+func castFloat64(b []byte) []float64 { return nil }
+
+func castInt32(b []byte) []int32 { return nil }

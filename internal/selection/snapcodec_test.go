@@ -1,0 +1,321 @@
+package selection
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/langmodel"
+	"repro/internal/randx"
+)
+
+// goldenModels is the tiny fixed federation behind the golden-bytes test:
+// two databases, overlapping vocabulary, deterministic insertion order.
+func goldenModels() []*langmodel.Model {
+	a := langmodel.New()
+	a.SetDocs(10)
+	a.AddTerm("apple", langmodel.TermStats{DF: 4, CTF: 9})
+	a.AddTerm("stock", langmodel.TermStats{DF: 2, CTF: 3})
+	b := langmodel.New()
+	b.SetDocs(5)
+	b.AddTerm("stock", langmodel.TermStats{DF: 5, CTF: 12})
+	b.AddTerm("bond", langmodel.TermStats{DF: 1, CTF: 1})
+	return []*langmodel.Model{a, b}
+}
+
+func goldenSnapshot() *Snapshot {
+	return &Snapshot{
+		Epoch:        42,
+		Names:        []string{"alpha", "beta"},
+		Fingerprints: []uint64{0x0123456789abcdef, 0xfedcba9876543210},
+		Compiled:     Compile(goldenModels()),
+	}
+}
+
+// assertCompiledEqual demands field-for-field, bit-for-bit equality —
+// decoding must reproduce the exact arrays that were encoded, including
+// term-id assignment (the dictionary section preserves id order).
+func assertCompiledEqual(t *testing.T, got, want *Compiled) {
+	t.Helper()
+	if got.n != want.n {
+		t.Fatalf("n = %d, want %d", got.n, want.n)
+	}
+	if math.Float64bits(got.avgCW) != math.Float64bits(want.avgCW) {
+		t.Fatalf("avgCW = %v, want %v", got.avgCW, want.avgCW)
+	}
+	f64 := func(name string, g, w []float64) {
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d values, want %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, g[i], w[i])
+			}
+		}
+	}
+	i32 := func(name string, g, w []int32) {
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d values, want %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s[%d] = %d, want %d", name, i, g[i], w[i])
+			}
+		}
+	}
+	f64("docs", got.docs, want.docs)
+	f64("cw", got.cw, want.cw)
+	f64("idf", got.idf, want.idf)
+	f64("postDF", got.postDF, want.postDF)
+	i32("postStart", got.postStart, want.postStart)
+	i32("postDB", got.postDB, want.postDB)
+	if len(got.terms) != len(want.terms) {
+		t.Fatalf("%d terms, want %d", len(got.terms), len(want.terms))
+	}
+	for i, term := range want.terms {
+		if got.terms[i] != term {
+			t.Fatalf("term %d = %q, want %q", i, got.terms[i], term)
+		}
+		if id, ok := got.ID(term); !ok || id != int32(i) {
+			t.Fatalf("ID(%q) = %d,%v, want %d", term, id, ok, i)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := randx.New(0x5eed)
+	for trial := 0; trial < 20; trial++ {
+		models := randomModels(src, 1+src.Intn(25), 50)
+		names := make([]string, len(models))
+		fps := make([]uint64, len(models))
+		for i := range names {
+			names[i] = fmt.Sprintf("db%02d", i)
+			fps[i] = src.Uint64()
+		}
+		in := &Snapshot{Epoch: src.Uint64(), Names: names, Fingerprints: fps, Compiled: Compile(models)}
+		if trial%3 == 0 {
+			in.Fingerprints = nil // the section is optional
+		}
+		data, err := EncodeSnapshot(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeSnapshot(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out.Epoch != in.Epoch {
+			t.Fatalf("epoch %d, want %d", out.Epoch, in.Epoch)
+		}
+		if len(out.Names) != len(in.Names) {
+			t.Fatalf("%d names, want %d", len(out.Names), len(in.Names))
+		}
+		for i := range in.Names {
+			if out.Names[i] != in.Names[i] {
+				t.Fatalf("name %d = %q, want %q", i, out.Names[i], in.Names[i])
+			}
+		}
+		if in.Fingerprints == nil {
+			if out.Fingerprints != nil {
+				t.Fatal("fingerprints materialized from nothing")
+			}
+		} else {
+			for i := range in.Fingerprints {
+				if out.Fingerprints[i] != in.Fingerprints[i] {
+					t.Fatalf("fingerprint %d mismatch", i)
+				}
+			}
+		}
+		assertCompiledEqual(t, out.Compiled, in.Compiled)
+
+		// Decoded snapshots must score, not just compare: the ids map is
+		// rebuilt from the dictionary section.
+		query := []string{"t000", "t013", "unknown-term"}
+		scores := make([]float64, len(models))
+		ids := out.Compiled.AppendIDs(nil, query)
+		for _, alg := range compiledAlgorithms() {
+			want := alg.Scores(query, models)
+			if !out.Compiled.ScoreInto(alg, ids, scores) {
+				t.Fatalf("ScoreInto rejected %s", alg.Name())
+			}
+			for i := range want {
+				if math.Float64bits(scores[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("trial %d %s: db %d decoded score %v != map score %v",
+						trial, alg.Name(), i, scores[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotGoldenBytes pins the on-disk format: any codec change that
+// alters the bytes of this fixed fixture is a format change and must bump
+// SnapshotVersion (and update this golden) deliberately.
+func TestSnapshotGoldenBytes(t *testing.T) {
+	data, err := EncodeSnapshot(goldenSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hex.DecodeString(strings.Join(strings.Fields(snapshotGoldenHex), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("encoding changed (%d bytes, want %d):\n%s\nupdate snapshotGoldenHex only with a deliberate format bump",
+			len(data), len(want), hex.Dump(data))
+	}
+	// And the golden decodes back to the golden.
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 42 || len(out.Names) != 2 || out.Names[0] != "alpha" {
+		t.Fatalf("golden decoded to %+v", out)
+	}
+	assertCompiledEqual(t, out.Compiled, goldenSnapshot().Compiled)
+}
+
+// TestSnapshotDetectsCorruption flips every single byte of the golden
+// encoding in turn: no corruption may survive both DecodeSnapshot and the
+// (header- and table-only) InspectSnapshot undetected. Inspect tolerates
+// payload damage by design, but must then report the section as bad.
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	orig, err := EncodeSnapshot(goldenSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, len(orig))
+	for i := range orig {
+		copy(data, orig)
+		data[i] ^= 0x40
+		if _, err := DecodeSnapshot(data); err == nil {
+			// Padding bytes are the only region no checksum covers... and
+			// there are none outside section payloads' trailing alignment,
+			// which the section CRC does cover. So: everything must fail.
+			t.Fatalf("flip at byte %d went undetected by DecodeSnapshot", i)
+		}
+		info, err := InspectSnapshot(data)
+		if err != nil {
+			continue // header or table damage: Inspect refuses outright
+		}
+		ok := true
+		for _, s := range info.Sections {
+			ok = ok && s.OK
+		}
+		if ok {
+			t.Fatalf("flip at byte %d: InspectSnapshot reports all sections clean", i)
+		}
+	}
+}
+
+func TestSnapshotTruncationAndGarbage(t *testing.T) {
+	data, err := EncodeSnapshot(goldenSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 7, 8, snapHeaderSize - 1, snapHeaderSize, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeSnapshot(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded", n)
+		}
+	}
+	if _, err := DecodeSnapshot([]byte("QBSNAP1\x00 but then nonsense follows")); err == nil {
+		t.Error("garbage after a valid magic decoded")
+	}
+	if _, err := DecodeSnapshot(bytes.Repeat([]byte{0}, len(data))); err == nil {
+		t.Error("zero bytes decoded")
+	}
+}
+
+func TestSnapshotEncodeRejectsMismatchedInputs(t *testing.T) {
+	c := Compile(goldenModels())
+	for _, s := range []*Snapshot{
+		{Names: []string{"only-one"}, Compiled: c},
+		{Names: []string{"a", "b"}, Fingerprints: []uint64{1}, Compiled: c},
+		{Names: []string{"a", "b"}},
+	} {
+		if _, err := EncodeSnapshot(s); err == nil {
+			t.Errorf("EncodeSnapshot accepted %+v", s)
+		}
+	}
+}
+
+// TestSnapshotZeroDBFederation: an empty federation still round-trips (a
+// service can persist before anything is registered).
+func TestSnapshotZeroDBFederation(t *testing.T) {
+	in := &Snapshot{Epoch: 1, Names: nil, Compiled: Compile(nil)}
+	data, err := EncodeSnapshot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Compiled.NumDBs() != 0 || out.Compiled.VocabSize() != 0 {
+		t.Fatalf("decoded %d dbs, %d terms", out.Compiled.NumDBs(), out.Compiled.VocabSize())
+	}
+}
+
+// FuzzDecodeSnapshot hammers the decoder with mutated segments: whatever
+// the bytes, it must return an error or a structurally sound snapshot —
+// never panic, never an out-of-range posting that would crash a query.
+func FuzzDecodeSnapshot(f *testing.F) {
+	golden, err := EncodeSnapshot(goldenSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden)
+	f.Add([]byte{})
+	f.Add([]byte("QBSNAP1\x00"))
+	empty, _ := EncodeSnapshot(&Snapshot{Compiled: Compile(nil)})
+	f.Add(empty)
+	for _, i := range []int{9, 13, 17, 25, 57, 65, 73, 90} {
+		if i < len(golden) {
+			mut := bytes.Clone(golden)
+			mut[i] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		c := snap.Compiled
+		if len(snap.Names) != c.NumDBs() {
+			t.Fatalf("%d names for %d dbs", len(snap.Names), c.NumDBs())
+		}
+		// Exercise the decoded snapshot the way a query would.
+		query := []string{"apple", "stock", "no-such-term"}
+		if c.VocabSize() > 0 {
+			query = append(query, c.TermAt(0))
+		}
+		scores := make([]float64, c.NumDBs())
+		ids := c.AppendIDs(nil, query)
+		for _, alg := range compiledAlgorithms() {
+			c.ScoreInto(alg, ids, scores)
+		}
+	})
+}
+
+// snapshotGoldenHex is the full QBSNAP1 encoding of goldenSnapshot().
+const snapshotGoldenHex = `
+5142534e4150310001000000090000002a000000000000000200000003000000
+0400000000000000000000000000294000000000000000008d802f5900000000
+01000000abcd2e7b200100000000000015000000000000000200000065524987
+38010000000000001000000000000000030000009ca466ee4801000000000000
+1e0000000000000004000000c8816c9e68010000000000001000000000000000
+05000000489f4e4f780100000000000010000000000000000600000081f5c112
+880100000000000018000000000000000700000040f867d3a001000000000000
+100000000000000008000000754d09d6b0010000000000001000000000000000
+0900000099a9c11cc001000000000000200000000000000006a3360c00000000
+000000000500000009000000616c70686162657461000000efcdab8967452301
+1032547698badcfe00000000050000000a0000000e0000006170706c6573746f
+636b626f6e640000000000000000244000000000000014400000000000002840
+0000000000002a408d74ea8d7cb0ea3f3bfdd4d6a3ffc93f8d74ea8d7cb0ea3f
+0000000001000000030000000400000000000000000000000100000001000000
+000000000000104000000000000000400000000000001440000000000000f03f
+`

@@ -146,6 +146,19 @@ type Service struct {
 	snap      atomic.Pointer[snapshotSet]
 	compileMu sync.Mutex
 	cache     atomic.Pointer[rankCache]
+
+	// Incremental-rebuild state (snapshot.go), guarded by mu: dirty names
+	// databases whose model was replaced in place since the last rebuild
+	// collected dirt; dirtyAll records a membership change, which forces
+	// the next rebuild to compile from scratch.
+	dirty    map[string]bool
+	dirtyAll bool
+
+	// Snapshot persistence (snapshot.go), guarded by mu: snapStore is the
+	// optional on-disk home for compiled snapshots; persistSnap saves each
+	// published snapshot there.
+	snapStore   *store.SnapshotStore
+	persistSnap bool
 }
 
 // New returns a service that normalizes learned models with the given
@@ -252,7 +265,7 @@ func (s *Service) Register(name, addr string) error {
 	s.loadPersisted(e)
 	s.entries[name] = e
 	if e.model != nil {
-		s.invalidate() // a persisted model joined the served set
+		s.invalidateAll() // a persisted model joined the served set
 	}
 	return nil
 }
@@ -275,7 +288,7 @@ func (s *Service) RegisterLocal(name string, db core.Database) error {
 	s.loadPersisted(e)
 	s.entries[name] = e
 	if e.model != nil {
-		s.invalidate()
+		s.invalidateAll()
 	}
 	return nil
 }
@@ -305,7 +318,7 @@ func (s *Service) Unregister(name string) error {
 	}
 	delete(s.entries, name)
 	if e.model != nil {
-		s.invalidate() // its model left the served set
+		s.invalidateAll() // its model left the served set
 	}
 	if s.st != nil {
 		return s.st.Delete(name)
@@ -471,8 +484,16 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	reg.Counter("service_probe_queries_total").Add(int64(res.Queries))
 	lg.Info("sample done", "db", name, "docs", res.Docs, "queries", res.Queries,
 		telemetry.TraceKey, opts.TraceID)
+	hadModel := e.model != nil
 	e.model = res.Learned.Normalize(s.analyzer)
-	s.invalidate() // the served model set changed; next Rank recompiles
+	if hadModel {
+		// A resample replaced one model in place: the next rebuild may
+		// patch just this database's rows instead of recompiling the
+		// federation.
+		s.invalidateDB(name)
+	} else {
+		s.invalidateAll() // a new model joined the served set
+	}
 	e.lastRun = res
 	e.stats.HasModel = true
 	e.stats.Terms = e.model.VocabSize()

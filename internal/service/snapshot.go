@@ -12,28 +12,80 @@ package service
 // rebuild. Stale snapshots stay valid for readers already holding them
 // (grace period by garbage collection, the RCU property), so a resample
 // never blocks or corrupts an in-flight Rank.
+//
+// Rebuilds are incremental when they can be: writers record *which*
+// database changed alongside the generation bump, and when only a small
+// fraction of the federation moved (a single resample in a 100-DB
+// deployment), the next rebuild patches the previous snapshot's rows
+// (selection.Compiled.Patch — bit-identical to a from-scratch compile)
+// instead of rehashing every model. Membership changes and wide resamples
+// fall back to a full compile.
+//
+// With a snapshot store attached (SetSnapshotStore), each newly compiled
+// snapshot is persisted on swap, and LoadSnapshot warm-starts serving from
+// disk: the first Rank after a restart scores against the mmapped segment
+// without compiling anything.
 
 import (
+	"errors"
+	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/langmodel"
 	"repro/internal/selection"
+	"repro/internal/store"
 )
 
+// defaultPatchRatio is the fraction of the federation that may be dirty
+// before a rebuild abandons patching for a full compile. Patching splices
+// CSR rows for every term of every changed model; past roughly half the
+// databases, rehashing everything is the cheaper and simpler move.
+const defaultPatchRatio = 0.5
+
 // snapshotSet is one immutable compiled view of the model set. names[i] is
-// the database compiled as index i (sorted, the order rank always used).
+// the database compiled as index i (sorted, the order rank always used);
+// models[i] is the model it was compiled from, kept so the next rebuild
+// can diff against it (Patch needs the old model to know which postings
+// to remove).
 type snapshotSet struct {
 	epoch    uint64
 	names    []string
+	models   []*langmodel.Model
 	compiled *selection.Compiled
 }
 
-// invalidate marks the published snapshot stale. Callers must hold s.mu
-// (write) — the lock orders the bump after the model-set change it
-// reflects, so a reader that observes the new generation under RLock also
-// observes the new models.
-func (s *Service) invalidate() {
+// invalidateAll marks the published snapshot stale for a membership
+// change (register/unregister): database indices shift, so the next
+// rebuild must compile from scratch. Callers must hold s.mu (write) — the
+// lock orders the bump after the model-set change it reflects, so a
+// reader that observes the new generation under RLock also observes the
+// new models.
+func (s *Service) invalidateAll() {
 	s.gen.Add(1)
+	s.dirtyAll = true
+}
+
+// invalidateDB marks the published snapshot stale for a single database
+// whose model was replaced in place (a resample). The next rebuild may
+// patch just its rows. Callers must hold s.mu (write).
+func (s *Service) invalidateDB(name string) {
+	s.gen.Add(1)
+	if s.dirty == nil {
+		s.dirty = make(map[string]bool)
+	}
+	s.dirty[name] = true
+}
+
+// SetSnapshotStore attaches a persistent snapshot store. When persist is
+// true, every snapshot the service compiles from then on is saved to the
+// store as it is published; either way LoadSnapshot can warm-start from
+// whatever the store holds.
+func (s *Service) SetSnapshotStore(ss *store.SnapshotStore, persist bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapStore = ss
+	s.persistSnap = persist && ss != nil
 }
 
 // snapshot returns a compiled snapshot no older than the model set at call
@@ -51,11 +103,14 @@ func (s *Service) snapshot() *snapshotSet {
 	}
 
 	reg := s.Metrics()
-	// Collect the models and read the generation under one read lock:
-	// writers bump gen while holding the write lock, so the pair is
-	// consistent — this snapshot is stamped with the generation of exactly
-	// the model set it compiles.
-	s.mu.RLock()
+	// Collect the models, the generation, and the dirty set under one
+	// write lock: writers bump gen while holding the lock, so the triple
+	// is consistent — this snapshot is stamped with the generation of
+	// exactly the model set it compiles, and the dirt it consumes is
+	// exactly the dirt that generation accumulated. If a writer dirties
+	// more after we unlock, gen moves past us and the next query rebuilds
+	// again.
+	s.mu.Lock()
 	gen := s.gen.Load()
 	names := make([]string, 0, len(s.entries))
 	for name, e := range s.entries {
@@ -68,19 +123,166 @@ func (s *Service) snapshot() *snapshotSet {
 	for i, name := range names {
 		models[i] = s.entries[name].model
 	}
-	s.mu.RUnlock()
+	dirty, dirtyAll := s.dirty, s.dirtyAll
+	s.dirty, s.dirtyAll = nil, false
+	s.mu.Unlock()
 
 	stop := reg.Timer("service_snapshot_compile_seconds")
-	compiled := selection.Compile(models)
+	compiled, scope := s.compile(names, models, dirty, dirtyAll)
 	stop()
 	reg.Counter("service_snapshot_compiles_total").Inc()
+	reg.Counter(`service_snapshot_compiles_total{scope="` + scope + `"}`).Inc()
 	reg.Gauge("service_snapshot_epoch").Set(int64(gen))
 	reg.Gauge("service_snapshot_terms").Set(int64(compiled.VocabSize()))
 	reg.Gauge("service_snapshot_dbs").Set(int64(compiled.NumDBs()))
 
-	snap := &snapshotSet{epoch: gen, names: names, compiled: compiled}
+	snap := &snapshotSet{epoch: gen, names: names, models: models, compiled: compiled}
 	s.snap.Store(snap)
+	s.persistSnapshot(snap)
 	return snap
+}
+
+// compile builds the flat arrays for the collected model set, patching
+// the previous snapshot when only a tolerable fraction of an unchanged
+// membership is dirty. The patched result is bit-identical to a full
+// compile (selection.Compiled.Patch's contract), so the choice is purely
+// a cost decision and never observable through scoring. Returns the
+// compiled set and the scope label ("full" or "incremental") for the
+// compile counters.
+func (s *Service) compile(names []string, models []*langmodel.Model, dirty map[string]bool, dirtyAll bool) (*selection.Compiled, string) {
+	prev := s.snap.Load()
+	if prev == nil || dirtyAll || len(dirty) == 0 ||
+		float64(len(dirty)) > defaultPatchRatio*float64(len(names)) ||
+		!slices.Equal(prev.names, names) {
+		return selection.Compile(models), "full"
+	}
+	changed := make([]string, 0, len(dirty))
+	for name := range dirty {
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+	patches := make([]selection.ModelPatch, 0, len(changed))
+	for _, name := range changed {
+		i := sort.SearchStrings(names, name)
+		if i >= len(names) || names[i] != name {
+			// Dirty entry no longer served (raced with an unregister whose
+			// dirtyAll a later generation will consume): patching has no
+			// row to target, so compile from scratch.
+			return selection.Compile(models), "full"
+		}
+		patches = append(patches, selection.ModelPatch{DB: i, Old: prev.models[i], New: models[i]})
+	}
+	compiled, err := prev.compiled.Patch(patches)
+	if err != nil {
+		// A patch failure means the previous snapshot disagrees with the
+		// models we diffed — recover by recompiling rather than serving
+		// nothing.
+		s.log().Warn("incremental recompile failed; compiling from scratch", "err", err.Error())
+		return selection.Compile(models), "full"
+	}
+	return compiled, "incremental"
+}
+
+// persistSnapshot saves a freshly published snapshot to the attached
+// store. Persistence is best effort — the snapshot already serves from
+// memory, so a failed save costs the next restart a recompile, nothing
+// more — and runs on the (single-flighted, rare) compile path, keeping
+// the store's no-concurrent-saves contract without extra machinery.
+func (s *Service) persistSnapshot(snap *snapshotSet) {
+	s.mu.RLock()
+	ss, persist := s.snapStore, s.persistSnap
+	s.mu.RUnlock()
+	if !persist || ss == nil {
+		return
+	}
+	reg := s.Metrics()
+	fps := make([]uint64, len(snap.models))
+	for i, m := range snap.models {
+		fps[i] = m.Fingerprint()
+	}
+	n, err := ss.Save(&selection.Snapshot{
+		Epoch:        snap.epoch,
+		Names:        snap.names,
+		Fingerprints: fps,
+		Compiled:     snap.compiled,
+	})
+	if err != nil {
+		reg.Counter("service_snapshot_persist_errors_total").Inc()
+		s.log().Warn("snapshot persist failed", "err", err.Error())
+		return
+	}
+	reg.Counter("service_snapshot_persists_total").Inc()
+	reg.Gauge("service_snapshot_bytes").Set(n)
+}
+
+// LoadSnapshot warm-starts query serving from the attached store: it
+// loads, verifies, and publishes the persisted snapshot, so the first
+// Rank after a restart scores immediately instead of compiling the model
+// set. The snapshot is rejected — and the service left to compile on
+// first use, exactly as if none existed — unless it describes precisely
+// the currently served model set: same database names, and per-database
+// model fingerprints matching the models the registry loaded (a crash
+// between a model write and the snapshot write leaves the snapshot one
+// model behind; fingerprints catch that).
+func (s *Service) LoadSnapshot() error {
+	s.mu.RLock()
+	ss := s.snapStore
+	s.mu.RUnlock()
+	if ss == nil {
+		return errors.New("service: no snapshot store attached")
+	}
+	reg := s.Metrics()
+	stop := reg.Timer("service_snapshot_load_seconds")
+	snap, size, err := ss.Load()
+	stop()
+	if err != nil {
+		reg.Counter("service_snapshot_load_errors_total").Inc()
+		return fmt.Errorf("service: load snapshot: %w", err)
+	}
+
+	// Verify and publish under the compile lock so a concurrent first
+	// query cannot compile and swap between our check and our install.
+	s.compileMu.Lock()
+	defer s.compileMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.entries))
+	for name, e := range s.entries {
+		if e.model != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if !slices.Equal(names, snap.Names) {
+		reg.Counter("service_snapshot_load_errors_total").Inc()
+		return fmt.Errorf("service: snapshot describes databases %v, registry serves %v (stale snapshot)",
+			snap.Names, names)
+	}
+	models := make([]*langmodel.Model, len(names))
+	for i, name := range names {
+		models[i] = s.entries[name].model
+	}
+	if len(snap.Fingerprints) != len(models) {
+		reg.Counter("service_snapshot_load_errors_total").Inc()
+		return fmt.Errorf("service: snapshot carries %d fingerprints for %d databases",
+			len(snap.Fingerprints), len(models))
+	}
+	for i, m := range models {
+		if got := m.Fingerprint(); got != snap.Fingerprints[i] {
+			reg.Counter("service_snapshot_load_errors_total").Inc()
+			return fmt.Errorf("service: model %q changed since the snapshot was written (stale snapshot)",
+				names[i])
+		}
+	}
+
+	gen := s.gen.Load()
+	s.snap.Store(&snapshotSet{epoch: gen, names: snap.Names, models: models, compiled: snap.Compiled})
+	s.dirty, s.dirtyAll = nil, false
+	reg.Gauge("service_snapshot_bytes").Set(size)
+	reg.Gauge("service_snapshot_epoch").Set(int64(gen))
+	reg.Gauge("service_snapshot_terms").Set(int64(snap.Compiled.VocabSize()))
+	reg.Gauge("service_snapshot_dbs").Set(int64(snap.Compiled.NumDBs()))
+	return nil
 }
 
 // Epoch returns the current model-set generation. It changes whenever a
