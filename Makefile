@@ -11,11 +11,11 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Tier-1 benchmark set for the regression gate (see bench-check).
-BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile
+BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile|RepolintFullRepo
 # Benchmarks that must be present in every recording; benchdiff record
 # fails otherwise, so a renamed/filtered-out rank benchmark cannot
 # silently drop out of the regression gate.
-BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile
+BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile,RepolintFullRepo
 # Repeated runs per benchmark; benchdiff keeps the median, which is what
 # makes a 25% threshold usable on noisy shared CI machines.
 BENCH_COUNT ?= 5
@@ -26,7 +26,7 @@ BENCH_OUT ?= BENCH_current.json
 COVER_FLOOR ?= 86.0
 
 .PHONY: all build test race bench bench-all bench-check bench-baseline \
-	cover vet lint chaos fuzz-smoke snapshot-fuzz ci clean
+	cover vet lint lint-sarif chaos fuzz-smoke snapshot-fuzz ci clean
 
 all: build test
 
@@ -80,10 +80,20 @@ vet:
 
 # repolint enforces the determinism/concurrency invariants (randomness
 # via internal/randx, no wall clock on golden paths, no map-order
-# leaks, fan-out through internal/parallel, no locks by value). Zero
-# unsuppressed findings is the bar; suppressions need a reason.
+# leaks, fan-out through internal/parallel, no locks by value) plus the
+# dataflow proofs (hotpath allocation-freedom, lock discipline, RCU
+# atomic consistency, goroutine/defer error sinks). Zero unsuppressed
+# findings is the bar; suppressions need a reason. Exit codes: 0 clean,
+# 1 findings (stdout), 2 repolint could not run (stderr).
 lint:
 	$(GO) run ./cmd/repolint ./...
+
+# Same gate, plus a SARIF 2.1.0 log for code-scanning UIs; CI uploads
+# repolint.sarif as an artifact. The exit code still counts only
+# unsuppressed findings — the log additionally carries suppressed ones
+# with their //lint:ignore justifications for auditing.
+lint-sarif:
+	$(GO) run ./cmd/repolint -sarif repolint.sarif ./...
 
 # Chaos suite: deterministic fault injection (internal/faulty) driving
 # the sampling fabric end to end — injected transport faults, truncated

@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/langmodel"
+	"repro/internal/lint"
 	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/selection"
@@ -674,6 +675,37 @@ func BenchmarkIncrementalRecompile(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRepolintFullRepo prices the lint gate itself: loading,
+// type-checking, and running all nine analyzers (CFG construction,
+// dataflow fixpoints, call-graph reachability included) over every
+// package in the module — the wall time `make lint` adds to CI. One op
+// is one cold end-to-end run; load+check dominates, so this also guards
+// the stdlib loader against accidental quadratic re-parsing.
+func BenchmarkRepolintFullRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := lint.Run(pkgs, lint.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings := lint.Unsuppressed(diags); len(findings) > 0 {
+			b.Fatalf("repo must lint clean during the benchmark, got %d finding(s); first: %s",
+				len(findings), findings[0])
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(pkgs)), "packages")
+			b.ReportMetric(float64(len(diags)), "suppressed")
+		}
+	}
 }
 
 // BenchmarkTokenizeASCII prices the zero-allocation tokenizer fast path:

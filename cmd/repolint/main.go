@@ -15,6 +15,7 @@
 //
 //	-C dir        module root to lint (default: ".", must contain go.mod)
 //	-json         emit diagnostics as a JSON array instead of text
+//	-sarif path   also write a SARIF 2.1.0 log to path ("-" for stdout)
 //	-list         list registered analyzers and exit
 //	-show-ignored also print suppressed findings (marked "ignored:")
 //	-disable a,b  comma-separated analyzer names to skip
@@ -23,13 +24,16 @@
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings go
+// to stdout; usage, load, and type errors go to stderr, so a CI step can
+// separate "the code is dirty" from "the linter could not run".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -40,11 +44,12 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	root := fs.String("C", ".", "module root directory (must contain go.mod)")
 	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	sarifPath := fs.String("sarif", "", "also write a SARIF 2.1.0 log to this path (\"-\" for stdout)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	showIgnored := fs.Bool("show-ignored", false, "also print suppressed findings")
 	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
@@ -104,6 +109,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := lint.Unsuppressed(diags)
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, diags, analyzers, loader.Root, stdout); err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+	}
+
 	shown := findings
 	if *showIgnored {
 		shown = diags
@@ -139,4 +152,34 @@ func run(args []string, stdout, stderr *os.File) int {
 	default:
 		return 0
 	}
+}
+
+// writeSARIF marshals the full diagnostic set (suppressed findings ride
+// along as SARIF suppressions) and writes it to path, or to stdout when
+// path is "-". SARIF carries the whole ledger regardless of
+// -show-ignored: the artifact is for auditing, not for gating — the exit
+// code still counts only unsuppressed findings.
+func writeSARIF(path string, diags []lint.Diagnostic, analyzers []*lint.Analyzer, root string, stdout io.Writer) error {
+	doc := lint.ToSARIF(diags, analyzers, root)
+	out := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			//lint:ignore errsink best-effort double close; the success path closes explicitly and checks the error
+			f.Close()
+		}()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if f, ok := out.(*os.File); ok && path != "-" {
+		return f.Close()
+	}
+	return nil
 }

@@ -82,6 +82,7 @@ func main() {
 	logger := telemetry.NewLogger(os.Stderr, level, true)
 
 	svc := service.New(analysis.Database(), st)
+	//lint:ignore errsink process-exit cleanup; a close error after serving has no consumer
 	defer svc.Close()
 	svc.SetMetrics(reg)
 	svc.SetLogger(logger)
@@ -113,6 +114,7 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
+			//lint:ignore errsink process-exit cleanup; a close error after serving has no consumer
 			defer ns.Close()
 			if err := svc.Register(db.Name, ns.Addr()); err != nil {
 				fail("%v", err)

@@ -39,6 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore errsink example-exit cleanup; a close error has no consumer
 	defer searchSrv.Close()
 
 	liar := starts.Liar{Model: actual, Bait: []string{"miracle", "free", "winner"}, Factor: 1000}
@@ -46,6 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore errsink example-exit cleanup; a close error has no consumer
 	defer exportSrv.Close()
 
 	fmt.Printf("remote database up: search on %s, STARTS export on %s\n\n",
@@ -66,6 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore errsink example-exit cleanup; a close error has no consumer
 	defer client.Close()
 
 	cfg := core.DefaultConfig(actual, 200, 3) // initial term source only

@@ -12,6 +12,7 @@ func Porter(word string) string {
 	if len(word) <= 2 {
 		return word
 	}
+	//lint:ignore allocfree the stemmer's working copy; only database-side analyzers stem (the selection serving pipeline is Raw), and stemming rewrites the token in place thereafter
 	w := stemWord{b: []byte(word)}
 	w.step1a()
 	w.step1b()
@@ -21,6 +22,7 @@ func Porter(word string) string {
 	w.step4()
 	w.step5a()
 	w.step5b()
+	//lint:ignore allocfree the stemmed token is new vocabulary by contract; callers retain it past the call, so it cannot alias the scratch
 	return string(w.b)
 }
 

@@ -50,6 +50,8 @@ var tokenBufPool = sync.Pool{
 // tokens beyond the current request — map keys in a model or index built
 // from large documents — must copy them (strings.Clone) at the retention
 // site; transient uses (scoring a query, counting) need not.
+//
+//lint:hotpath
 func AppendTokens(dst []string, text string) []string {
 	const noToken = -1
 	start := noToken // byte index where the current token began in text
@@ -65,6 +67,7 @@ func AppendTokens(dst []string, text string) []string {
 		if start != noToken {
 			if folded {
 				if len(*buf) > 0 {
+					//lint:ignore allocfree only tokens that needed case folding or UTF-8 lowering pay this copy; lower-case ASCII tokens slice text directly, which is the zero-alloc contract
 					dst = append(dst, string(*buf))
 				}
 			} else if lastLD > start {

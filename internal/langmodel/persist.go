@@ -80,6 +80,7 @@ func Load(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("langmodel: load: %w", err)
 	}
+	//lint:ignore errsink file opened for reading; close cannot lose data
 	defer f.Close()
 	return Read(f)
 }

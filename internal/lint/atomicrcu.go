@@ -1,0 +1,144 @@
+package lint
+
+// atomicrcu enforces the RCU access discipline from DESIGN.md §10: once
+// any code touches a variable through the sync/atomic package functions
+// (atomic.AddUint64(&x), atomic.LoadPointer(&p), ...), every access to
+// that variable must be atomic. A single plain read of an
+// atomically-written counter is a data race the race detector only
+// catches if a test happens to interleave it; the type checker knows
+// statically which variables have crossed the atomic line.
+//
+// Fields of the typed atomics (atomic.Uint64, atomic.Pointer[T]) are
+// immune by construction — the type exposes no plain accessors — so the
+// analyzer concerns itself with the classic footgun: an ordinary uint64
+// or unsafe.Pointer field mixed between atomic.* calls and direct
+// loads/stores. The check is per-package (the variables in question are
+// unexported in this module; an exported mixed-access field would be
+// flagged in its own package where the atomic call lives). Accesses
+// through pointer aliases (p := &s.n; *p = 1) are a documented blind
+// spot.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+var AtomicRCU = &Analyzer{
+	Name: "atomicrcu",
+	Doc: "A variable accessed through sync/atomic functions anywhere in the package " +
+		"must be accessed atomically everywhere: plain reads or writes of it race with " +
+		"the atomic ones and void the RCU publication guarantees the serving path " +
+		"relies on.",
+	Run: runAtomicRCU,
+}
+
+func runAtomicRCU(pass *Pass) error {
+	// Pass 1: every variable whose address is passed to a sync/atomic
+	// function, and the syntax nodes making up those sanctioned accesses.
+	atomicVars := make(map[types.Object]ast.Node) // var -> first atomic access (for the message)
+	sanctioned := make(map[ast.Node]bool)         // ident/selector nodes inside atomic call args
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := staticCallee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on atomic.Uint64 etc. are safe by type
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				obj := addressedVar(pass.Info, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = un
+				}
+				ast.Inspect(un.X, func(m ast.Node) bool {
+					sanctioned[m] = true
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other syntactic access to those variables.
+	type finding struct {
+		node ast.Node
+		obj  types.Object
+	}
+	var findings []finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return true
+			}
+			var obj types.Object
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n.Sel] {
+					return true
+				}
+				obj = pass.Info.Uses[n.Sel]
+			case *ast.Ident:
+				obj = pass.Info.Uses[n]
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicVars[obj]; isAtomic {
+				findings = append(findings, finding{node: n, obj: obj})
+				return false // don't double-report sel.Sel under the selector
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].node.Pos() < findings[j].node.Pos() })
+	reported := make(map[ast.Node]bool)
+	for _, f := range findings {
+		if reported[f.node] {
+			continue
+		}
+		reported[f.node] = true
+		pass.Reportf(f.node.Pos(),
+			"%s is accessed with sync/atomic elsewhere in this package; plain access races with the atomic ones (use atomic.Load/Store or the typed atomics)",
+			f.obj.Name())
+	}
+	return nil
+}
+
+// addressedVar resolves &expr's operand to the variable object it names:
+// a plain identifier or the final field of a selector chain.
+func addressedVar(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics have no stable per-object identity;
+		// fall back to the array/slice variable itself so mixed plain
+		// element access in the same package is still caught.
+		return addressedVar(info, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package lint
+
+// Fixture tests for the CFG/dataflow analyzers, plus structural unit
+// tests of the CFG builder and the fixpoint solvers themselves.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestAllocFree(t *testing.T) {
+	runCase(t, AllocFree, "allocfree/bad", "repro/internal/hot")
+	runCase(t, AllocFree, "allocfree/allowed", "repro/internal/hot")
+	runCase(t, AllocFree, "allocfree/ignored", "repro/internal/hot")
+}
+
+func TestLockHeld(t *testing.T) {
+	runCase(t, LockHeld, "lockheld/bad", "repro/internal/locks")
+	runCase(t, LockHeld, "lockheld/allowed", "repro/internal/locks")
+	runCase(t, LockHeld, "lockheld/ignored", "repro/internal/locks")
+}
+
+func TestAtomicRCU(t *testing.T) {
+	runCase(t, AtomicRCU, "atomicrcu/bad", "repro/internal/rcu")
+	runCase(t, AtomicRCU, "atomicrcu/allowed", "repro/internal/rcu")
+	runCase(t, AtomicRCU, "atomicrcu/ignored", "repro/internal/rcu")
+}
+
+func TestErrSink(t *testing.T) {
+	runCase(t, ErrSink, "errsink/bad", "repro/internal/sinks")
+	runCase(t, ErrSink, "errsink/allowed", "repro/internal/sinks")
+	runCase(t, ErrSink, "errsink/ignored", "repro/internal/sinks")
+}
+
+// cfgOf type-checks src (a complete file) and builds the CFG of the
+// named function.
+func cfgOf(t *testing.T, src, fn string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return BuildCFG(fd.Body, info)
+		}
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil
+}
+
+// reachable walks successor edges from the entry block.
+func reachable(g *CFG) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		walk(g.Blocks[0])
+	}
+	return seen
+}
+
+func TestCFGBranchesJoinAtExit(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(cond bool) int {
+	if cond {
+		return 1
+	}
+	return 2
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable through either branch")
+	}
+}
+
+func TestCFGInfiniteLoopNeverReachesExit(t *testing.T) {
+	g := cfgOf(t, `package p
+func f() {
+	for {
+	}
+}`, "f")
+	if reachable(g)[g.Exit] {
+		t.Fatal("exit should be unreachable past `for {}`")
+	}
+}
+
+func TestCFGBreakEscapesLoop(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break should make exit reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(m [][]int) int {
+	total := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("labeled break should make exit reachable")
+	}
+}
+
+func TestCFGPanicTerminatesBlock(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(cond bool) int {
+	if cond {
+		panic("boom")
+	}
+	return 0
+}`, "f")
+	var panicBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlock = b
+					}
+				}
+				return true
+			})
+		}
+	}
+	if panicBlock == nil {
+		t.Fatal("no block holds the panic call")
+	}
+	if len(panicBlock.Succs) != 0 {
+		t.Fatalf("panic block has %d successors, want 0", len(panicBlock.Succs))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("the non-panicking path should still reach exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	// Both the fallthrough chain and the default path must reach exit,
+	// and the fixpoint below must converge over the case diamond.
+	g := cfgOf(t, `package p
+func f(n int) int {
+	out := 0
+	switch n {
+	case 0:
+		out = 1
+		fallthrough
+	case 1:
+		out += 2
+	default:
+		out = 9
+	}
+	return out
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("switch paths should reach exit")
+	}
+}
+
+// TestForwardReachingCount checks the forward solver on a loop: a
+// saturating counter fact must converge (finite lattice) rather than
+// iterate forever, and every reachable block must receive an IN fact.
+func TestForwardReachingCount(t *testing.T) {
+	g := cfgOf(t, `package p
+func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}`, "f")
+	const limit = 8
+	in := Forward(g, 0,
+		func() int { return 0 },
+		func(b *Block, f int) int {
+			if f >= limit {
+				return limit
+			}
+			return f + 1
+		},
+		func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		func(a, b int) bool { return a == b },
+	)
+	for b := range reachable(g) {
+		if _, ok := in[b]; !ok {
+			t.Fatalf("reachable block %d has no IN fact", b.Index)
+		}
+	}
+	if exit, ok := in[g.Exit]; !ok || exit == 0 {
+		t.Fatalf("exit fact = %d, %v; want saturated positive count", exit, ok)
+	}
+}
+
+// TestBackwardLiveness checks the backward solver end to end with a tiny
+// liveness problem: x is live at its assignment (read later), y is not.
+func TestBackwardLiveness(t *testing.T) {
+	src := `package p
+func f(cond bool) int {
+	x := 1
+	y := 2
+	_ = y
+	if cond {
+		return x
+	}
+	return 0
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "live.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	g := BuildCFG(fd.Body, info)
+
+	type fact = map[types.Object]bool
+	clone := func(f fact) fact {
+		out := make(fact, len(f))
+		for k := range f {
+			out[k] = true
+		}
+		return out
+	}
+	transfer := func(b *Block, out fact) fact {
+		live := clone(out)
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			n := b.Nodes[i]
+			// Kill definitions, then add uses.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if as, ok := m.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								delete(live, obj)
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						live[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return live
+	}
+	merge := func(a, b fact) fact {
+		out := clone(a)
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b fact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	out := Backward(g, fact{}, func() fact { return fact{} }, transfer, merge, equal)
+
+	// Find the objects for x and y.
+	var xObj, yObj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				switch id.Name {
+				case "x":
+					xObj = obj
+				case "y":
+					yObj = obj
+				}
+			}
+		}
+		return true
+	})
+	if xObj == nil || yObj == nil {
+		t.Fatal("missing x or y object")
+	}
+	// After the entry block's transfer (its live-in), x must be live
+	// somewhere: check the entry block's OUT — x is read on the cond
+	// branch, so it must be live out of the block that assigns it.
+	entryOut := out[g.Blocks[0]]
+	if !entryOut[xObj] {
+		t.Error("x should be live out of the entry block (read on a later path)")
+	}
+	if entryOut[yObj] {
+		t.Error("y should be dead out of the entry block (only read within it)")
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+// errsink guards the module's silent-failure surface: error values
+// produced where no caller is watching — inside goroutine bodies and in
+// deferred calls — must reach a sink (a return, a channel, a shared
+// slot, telemetry, a log) or carry an explicit, justified suppression.
+// PR 3's fault-tolerance work made background goroutines routine
+// (accept loops, connection handlers, samplers), and an error dropped in
+// one of them is a fault the chaos suites cannot see.
+//
+// Three shapes are reported:
+//
+//   - a call statement inside a go/defer closure whose error result is
+//     discarded entirely (`conn.Close()` as a bare statement)
+//   - an error assigned to `_` inside such a closure, or a deferred
+//     direct call (`defer f.Close()`) discarding an error result —
+//     intentional discards stay visible because they need a
+//     //lint:ignore with a reason
+//   - an error assigned to a variable declared inside the closure that
+//     is dead at the assignment — no path reads it before redefinition
+//     or scope exit (backward liveness over the CFG)
+//
+// Variables captured from the enclosing function are exempt from the
+// liveness rule (their lifetime outlives the closure; writes to them are
+// how worker pools report results).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc: "Errors produced inside goroutine bodies and defers must reach a sink " +
+		"(return, channel, shared slot, telemetry) — a dropped error in background " +
+		"work is invisible to callers and tests alike. Intentional discards need " +
+		"//lint:ignore with the reason.",
+	Run: runErrSink,
+}
+
+func runErrSink(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkErrSinkBody(pass, lit, "goroutine")
+				} else {
+					checkDiscardedCall(pass, n.Call, "goroutine call")
+				}
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkErrSinkBody(pass, lit, "deferred closure")
+				} else {
+					checkDiscardedCall(pass, n.Call, "deferred call")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall reports a go/defer of a plain call that returns an
+// error nobody can see.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, context string) {
+	if name, ok := returnsError(pass.Info, call); ok {
+		pass.Reportf(call.Pos(), "%s discards the error result of %s", context, name)
+	}
+}
+
+// returnsError reports whether the call's results include an error, and
+// names the callee for the diagnostic.
+func returnsError(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	name := calleeLabel(info, call)
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return name, true
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the call"
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// checkErrSinkBody analyzes one go/defer closure body.
+func checkErrSinkBody(pass *Pass, lit *ast.FuncLit, context string) {
+	info := pass.Info
+
+	// Error-typed variables declared inside this closure. Captured
+	// variables are excluded: assignments to them are visible outside.
+	localErr := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok && isErrorType(v.Type()) {
+			localErr[v] = true
+		}
+		return true
+	})
+
+	g := BuildCFG(lit.Body, info)
+	live := Backward(g, errFact{}, func() errFact { return errFact{} },
+		func(b *Block, out errFact) errFact {
+			fact := out.clone()
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				fact = errLivenessNode(info, b.Nodes[i], localErr, fact, nil)
+			}
+			return fact
+		},
+		mergeErr, equalErr)
+
+	// Reporting sweep: walk each block backward from its live-out fact.
+	for _, b := range g.Blocks {
+		fact := live[b]
+		if fact == nil {
+			fact = errFact{}
+		}
+		fact = fact.clone()
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			fact = errLivenessNode(info, b.Nodes[i], localErr, fact, func(id *ast.Ident, obj types.Object) {
+				pass.Reportf(id.Pos(),
+					"%s assigns an error to %s but no path reads it before it goes out of scope or is overwritten",
+					context, id.Name)
+			})
+		}
+	}
+
+	// Wholly discarded errors: bare call statements and blanks.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == lit // nested closures get their own go/defer scan if spawned
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := returnsError(info, call); ok {
+					pass.Reportf(call.Pos(), "%s discards the error result of %s", context, name)
+				}
+			}
+		case *ast.AssignStmt:
+			reportBlankErrDiscards(pass, info, n, context)
+		}
+		return true
+	})
+}
+
+// reportBlankErrDiscards flags `_ = f()` / `v, _ := f()` where the
+// discarded component is an error.
+func reportBlankErrDiscards(pass *Pass, info *types.Info, as *ast.AssignStmt, context string) {
+	blankAt := func(i int) (*ast.Ident, bool) {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		return id, ok && id.Name == "_"
+	}
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		// v, _ := f(): component types come from the call's tuple.
+		tv, ok := info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < len(as.Lhs) && i < tuple.Len(); i++ {
+			if id, blank := blankAt(i); blank && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(id.Pos(), "%s discards an error with _", context)
+			}
+		}
+		return
+	}
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		if id, blank := blankAt(i); blank && isErrorType(info.TypeOf(as.Rhs[i])) {
+			pass.Reportf(id.Pos(), "%s discards an error with _", context)
+		}
+	}
+}
+
+type errFact map[types.Object]bool
+
+func (f errFact) clone() errFact {
+	out := make(errFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func mergeErr(a, b errFact) errFact {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equalErr(a, b errFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// errLivenessNode applies one node backward: kill definitions, then add
+// uses. onDeadDef fires for assignments whose target error variable is
+// not live after the node.
+func errLivenessNode(info *types.Info, node ast.Node, tracked map[types.Object]bool, live errFact, onDeadDef func(*ast.Ident, types.Object)) errFact {
+	// Definitions in this node: LHS idents of assignments.
+	var defs []*ast.Ident
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && tracked[obj] {
+					defs = append(defs, id)
+				}
+			}
+		}
+		return true
+	})
+	defObjs := make(map[types.Object]*ast.Ident, len(defs))
+	for _, id := range defs {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		defObjs[obj] = id
+	}
+
+	// Uses: every other read of a tracked variable in the node.
+	uses := make(map[types.Object]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Reads inside nested closures count as uses (the closure may
+			// run later, but the value flows into it).
+			// fallthrough to walk it
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !tracked[obj] {
+			return true
+		}
+		if defID, isDef := defObjs[obj]; isDef && defID == id {
+			return true // the definition itself is not a use
+		}
+		uses[obj] = true
+		return true
+	})
+
+	// Dead-definition check happens against liveness *after* the node,
+	// which for same-node def+use (err := f(); used in same if-init) must
+	// include the node's own uses that read the new value. An assignment
+	// `err = g(err)` uses the old value — order within one node is
+	// approximated by counting any same-node use as keeping the def live,
+	// which cannot produce false positives.
+	if onDeadDef != nil {
+		for obj, id := range defObjs {
+			if !live[obj] && !uses[obj] {
+				onDeadDef(id, obj)
+			}
+		}
+	}
+	for obj := range defObjs {
+		delete(live, obj)
+	}
+	for obj := range uses {
+		live[obj] = true
+	}
+	return live
+}

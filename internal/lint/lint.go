@@ -67,6 +67,12 @@ type Pass struct {
 	// always non-nil, but entries may be missing for code that
 	// failed to type-check; analyzers must tolerate nil lookups.
 	Info *types.Info
+	// Prog is the whole-run program view shared by every pass: the
+	// lightweight call graph the interprocedural analyzers (allocfree,
+	// lockheld) resolve module calls through. When repolint runs over
+	// ./... it spans the entire module; fixture tests see just their
+	// own package.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -101,6 +107,7 @@ func (d Diagnostic) String() string {
 // position. Malformed or unused //lint:ignore directives are reported
 // as diagnostics of the pseudo-analyzer "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		ignores, malformed := collectIgnores(pkg.Fset, pkg.Files)
@@ -112,6 +119,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
@@ -156,7 +164,8 @@ func Unsuppressed(diags []Diagnostic) []Diagnostic {
 }
 
 // All returns the default analyzer set enforced by cmd/repolint, in
-// stable order.
+// stable order: the five per-statement invariant checks from PR 2,
+// then the four CFG/dataflow analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DirectRand,
@@ -164,6 +173,10 @@ func All() []*Analyzer {
 		MapOrder,
 		BareGoroutine,
 		MutexByValue,
+		AllocFree,
+		LockHeld,
+		AtomicRCU,
+		ErrSink,
 	}
 }
 

@@ -1,0 +1,157 @@
+package lint
+
+// SARIF 2.1.0 export, built with encoding/json only. SARIF is the
+// interchange format code-scanning UIs ingest (GitHub code scanning,
+// VS Code SARIF viewers); emitting it from repolint turns the
+// determinism/concurrency findings into annotations on the PR diff
+// instead of a CI log line. Suppressed findings are included with an
+// inSource suppression carrying the //lint:ignore justification, so the
+// ignore ledger is auditable from the same artifact.
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// SARIFLog is the top-level SARIF 2.1.0 document.
+type SARIFLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool identifies the producing tool.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver describes repolint and its rule set.
+type SARIFDriver struct {
+	Name  string      `json:"name"`
+	Rules []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one analyzer, in rule-index order.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+	FullDescription  SARIFMessage `json:"fullDescription"`
+}
+
+// SARIFMessage is SARIF's text wrapper.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      SARIFMessage       `json:"message"`
+	Locations    []SARIFLocation    `json:"locations"`
+	Suppressions []SARIFSuppression `json:"suppressions,omitempty"`
+}
+
+// SARIFLocation wraps the physical location of a finding.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysical `json:"physicalLocation"`
+}
+
+// SARIFPhysical is a file/region pair.
+type SARIFPhysical struct {
+	ArtifactLocation SARIFArtifact `json:"artifactLocation"`
+	Region           SARIFRegion   `json:"region"`
+}
+
+// SARIFArtifact names the file, relative to the repository root.
+type SARIFArtifact struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is the position within the file.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFSuppression records an in-source //lint:ignore with its reason.
+type SARIFSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// ToSARIF converts diagnostics (suppressed ones included — they carry
+// suppressions entries) to a SARIF 2.1.0 log. root, when non-empty,
+// relativizes file paths; URIs always use forward slashes. The
+// pseudo-analyzer "lint" (malformed/stale directives) gets a synthetic
+// rule appended after the registered analyzers.
+func ToSARIF(diags []Diagnostic, analyzers []*Analyzer, root string) *SARIFLog {
+	rules := make([]SARIFRule, 0, len(analyzers)+1)
+	index := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, SARIFRule{
+			ID:               a.Name,
+			ShortDescription: SARIFMessage{Text: a.Name},
+			FullDescription:  SARIFMessage{Text: a.Doc},
+		})
+	}
+
+	results := make([]SARIFResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			idx = len(rules)
+			index[d.Analyzer] = idx
+			rules = append(rules, SARIFRule{
+				ID:               d.Analyzer,
+				ShortDescription: SARIFMessage{Text: d.Analyzer},
+				FullDescription:  SARIFMessage{Text: "repolint directive hygiene (malformed or stale //lint:ignore)"},
+			})
+		}
+		res := SARIFResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   SARIFMessage{Text: d.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysical{
+					ArtifactLocation: SARIFArtifact{URI: sarifURI(d.Pos.Filename, root)},
+					Region:           SARIFRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		if d.Suppressed {
+			res.Suppressions = []SARIFSuppression{{
+				Kind:          "inSource",
+				Justification: d.SuppressReason,
+			}}
+		}
+		results = append(results, res)
+	}
+
+	return &SARIFLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "repolint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+func sarifURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestToSARIFSyntheticRule: a diagnostic from the "lint" pseudo-analyzer
+// (directive hygiene) is not in All(), so ToSARIF must append a
+// synthetic rule for it and point ruleIndex at it.
+func TestToSARIFSyntheticRule(t *testing.T) {
+	diags := []Diagnostic{{
+		Analyzer: "lint",
+		Message:  "lint:ignore directive suppresses nothing; remove it",
+		Pos:      token.Position{Filename: "/repo/a.go", Line: 3, Column: 2},
+	}}
+	doc := ToSARIF(diags, All(), "/repo")
+	rules := doc.Runs[0].Results[0].RuleIndex
+	got := doc.Runs[0].Tool.Driver.Rules
+	if rules != len(All()) {
+		t.Errorf("ruleIndex = %d, want %d (appended after registered analyzers)", rules, len(All()))
+	}
+	if got[rules].ID != "lint" {
+		t.Errorf("synthetic rule ID = %q, want lint", got[rules].ID)
+	}
+	if uri := doc.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "a.go" {
+		t.Errorf("uri = %q, want a.go", uri)
+	}
+}
+
+// TestToSARIFPathOutsideRoot: a filename that does not live under root
+// keeps its absolute path (slash form) rather than a ../ escape.
+func TestToSARIFPathOutsideRoot(t *testing.T) {
+	diags := []Diagnostic{{
+		Analyzer: "maporder",
+		Message:  "x",
+		Pos:      token.Position{Filename: "/elsewhere/b.go", Line: 1, Column: 1},
+	}}
+	doc := ToSARIF(diags, All(), "/repo")
+	uri := doc.Runs[0].Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if strings.HasPrefix(uri, "..") {
+		t.Errorf("uri = %q escaped the root with ..", uri)
+	}
+	if uri != "/elsewhere/b.go" {
+		t.Errorf("uri = %q, want the absolute path kept as-is", uri)
+	}
+}
+
+// TestToSARIFOmitsEmptySuppressions: an unsuppressed finding must not
+// serialize a "suppressions" key at all — SARIF consumers treat an
+// empty array as "suppression reviewed and rejected".
+func TestToSARIFOmitsEmptySuppressions(t *testing.T) {
+	diags := []Diagnostic{{
+		Analyzer: "maporder",
+		Message:  "x",
+		Pos:      token.Position{Filename: "a.go", Line: 1, Column: 1},
+	}}
+	raw, err := json.Marshal(ToSARIF(diags, All(), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "suppressions") {
+		t.Errorf("unsuppressed finding serialized a suppressions key: %s", raw)
+	}
+}

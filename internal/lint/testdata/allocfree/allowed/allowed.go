@@ -1,0 +1,51 @@
+// The idioms the zero-alloc serving path is built from: appends into
+// caller-provided or pooled storage, comparisons against converted
+// bytes (the compiler elides the copy), non-escaping closures, and
+// trusted stdlib calls.
+package hot
+
+import "sync"
+
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64); return &b },
+}
+
+// Tokens appends into caller storage and a pooled scratch only.
+//
+//lint:hotpath
+func Tokens(dst []string, text string) []string {
+	buf := bufPool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	*buf = append(*buf, text...)
+	if string(*buf) == text { // compared, not materialized: no allocation
+		dst = append(dst, text)
+	}
+	bufPool.Put(buf)
+	return dst
+}
+
+// Accumulate writes through a view of a parameter and uses a local,
+// non-escaping closure.
+//
+//lint:hotpath
+func Accumulate(scores []float64, ids []int32) float64 {
+	view := scores
+	total := 0.0
+	addOne := func(i int32) {
+		if int(i) < len(view) {
+			view[i]++
+			total++
+		}
+	}
+	for _, id := range ids {
+		addOne(id)
+	}
+	return total
+}
+
+// Nested append chains stay rooted in the parameter.
+//
+//lint:hotpath
+func Extend(dst []int32, a, b int32) []int32 {
+	return append(append(dst, a), b)
+}

@@ -1,0 +1,13 @@
+// A justified suppression: the one allocation the hot path's contract
+// permits, carried with its reason.
+package hot
+
+// Snapshot returns a fresh copy — the single allocation allowed.
+//
+//lint:hotpath
+func Snapshot(src []int) []int {
+	//lint:ignore allocfree the returned copy is the call's output; the caller owns it and len(src) bounds it
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}

@@ -1,0 +1,29 @@
+// The safe shapes: typed atomics (no plain accessors exist), a package
+// variable that is atomic at every access, and ordinary variables that
+// never cross the atomic line.
+package rcu
+
+import "sync/atomic"
+
+type State struct {
+	epoch atomic.Uint64
+	snap  atomic.Pointer[State]
+	plain int
+}
+
+// Bump uses the typed atomics and an untracked plain field.
+func (s *State) Bump() {
+	s.epoch.Add(1)
+	s.plain++
+}
+
+// Publish swaps the RCU pointer.
+func (s *State) Publish(next *State) {
+	s.snap.Store(next)
+}
+
+var requests uint64
+
+// Record and Total agree: every access to requests is atomic.
+func Record()       { atomic.AddUint64(&requests, 1) }
+func Total() uint64 { return atomic.LoadUint64(&requests) }

@@ -1,0 +1,26 @@
+// Mixed atomic and plain access to the same variable: the data race the
+// typed atomics make impossible by construction.
+package rcu
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	gen  uint64 // never touched atomically; plain access is fine
+}
+
+// Inc crosses the atomic line for hits.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Snapshot reads it plainly — racing with Inc.
+func (c *Counter) Snapshot() uint64 {
+	return c.hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// Reset writes it plainly — also racing.
+func (c *Counter) Reset() {
+	c.hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+	c.gen++
+}

@@ -1,0 +1,16 @@
+// A justified suppression: plain initialization before the variable is
+// published to any other goroutine.
+package rcu
+
+import "sync/atomic"
+
+var ready uint32
+
+// MarkReady publishes readiness.
+func MarkReady() { atomic.StoreUint32(&ready, 1) }
+
+// ResetForTest runs while the process is single-threaded.
+func ResetForTest() {
+	//lint:ignore atomicrcu single-threaded test setup; no other goroutine exists yet
+	ready = 0
+}

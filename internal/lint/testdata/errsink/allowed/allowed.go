@@ -1,0 +1,32 @@
+// Errors that reach a sink: a channel, a captured slot, a log.
+package sinks
+
+import "os"
+
+// Spawn routes every background error somewhere visible.
+func Spawn(f *os.File, errs chan error) {
+	go func() {
+		if err := f.Sync(); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		errs <- f.Close()
+	}()
+	defer func() {
+		if err := f.Close(); err != nil {
+			println("close:", err.Error())
+		}
+	}()
+}
+
+// Collect writes into a variable captured from the enclosing function:
+// its lifetime outlives the goroutine, so the write is the sink.
+func Collect(f *os.File, wait func()) error {
+	var firstErr error
+	go func() {
+		firstErr = f.Sync()
+	}()
+	wait()
+	return firstErr
+}

@@ -1,0 +1,31 @@
+// Errors dropped where nobody is watching: goroutine bodies and defers.
+package sinks
+
+import "os"
+
+// Spawn drops errors four different ways.
+func Spawn(f *os.File) {
+	go func() {
+		f.Close() // want `goroutine discards the error result of Close`
+	}()
+	go func() {
+		_ = f.Sync() // want `goroutine discards an error with _`
+	}()
+	go func() {
+		n, _ := f.Write(nil) // want `goroutine discards an error with _`
+		println(n)
+	}()
+	defer f.Close() // want `deferred call discards the error result of Close`
+}
+
+// DeadAssign writes an error that no path ever reads before it is
+// overwritten.
+func DeadAssign(f *os.File) {
+	go func() {
+		err := f.Sync() // want `goroutine assigns an error to err but no path reads it`
+		err = f.Close()
+		if err != nil {
+			println("close failed")
+		}
+	}()
+}

@@ -1,0 +1,7 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || wasm || loong64 || ppc64le || mips64le || mipsle)
+
+// The portable half of the per-arch pair; see cast_le.go.
+package loadmod
+
+// Cast is the byte-order-independent fallback.
+func Cast() string { return "portable" }

@@ -1,0 +1,14 @@
+//go:build repolint_fixture_other
+
+// The excluded half of the pair. It redeclares Value — if the loader
+// ever stopped honoring //go:build, type-checking would see the symbol
+// twice and the test would fail loudly. Its //lint:ignore directive must
+// not be reported as stale: an excluded file's directives do not exist.
+package loadmod
+
+// Value would collide with portable.go's if both files loaded.
+func Value() int {
+	//lint:ignore baregoroutine this directive lives in an excluded file and must never count as stale
+	go func() {}()
+	return 2
+}

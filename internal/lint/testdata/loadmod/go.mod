@@ -1,0 +1,3 @@
+module loadmod
+
+go 1.22

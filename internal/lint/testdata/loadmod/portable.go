@@ -1,0 +1,6 @@
+// The half of the build-tag pair that loads on every host: the
+// repolint_fixture_other tag is never set.
+package loadmod
+
+// Value is the portable implementation.
+func Value() int { return 1 }

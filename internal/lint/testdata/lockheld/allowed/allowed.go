@@ -1,0 +1,49 @@
+// The disciplined forms: deferred release, release on every branch,
+// blocking work moved outside the critical section, and panic paths
+// (which never reach a return, so a held lock there is not a leak).
+package locks
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Deferred is the canonical shape.
+func (s *S) Deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// BothPaths releases explicitly on each branch.
+func (s *S) BothPaths(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// SnapshotThenSend does the blocking send after the critical section.
+func (s *S) SnapshotThenSend() {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	s.ch <- n
+}
+
+// PanicPath never reaches a return while holding: the panic terminates
+// the block, so only the unlocking path flows to the exit.
+func (s *S) PanicPath() {
+	s.mu.Lock()
+	if s.n < 0 {
+		panic("negative count")
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// A justified suppression: the mutex IS the wire-serialization
+// mechanism (the netsearch client pattern), so I/O under it is the
+// design, not an accident.
+package locks
+
+import (
+	"net"
+	"sync"
+)
+
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// RoundTrip serializes whole request/response exchanges on one
+// connection.
+func (c *Client) RoundTrip(req []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore lockheld c.mu is the wire-serialization mechanism: one exchange owns the connection end to end
+	_, err := c.conn.Write(req)
+	return err
+}

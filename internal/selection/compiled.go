@@ -159,6 +159,8 @@ func (c *Compiled) ID(term string) (int32, bool) {
 // AppendIDs resolves terms to interned ids, appending one id per term to
 // dst (unknown terms append -1 — they still count toward CORI's query
 // length). The caller recycles dst; no allocations beyond dst growth.
+//
+//lint:hotpath
 func (c *Compiled) AppendIDs(dst []int32, terms []string) []int32 {
 	for _, t := range terms {
 		if id, ok := c.ids[t]; ok {
@@ -176,6 +178,8 @@ func (c *Compiled) AppendIDs(dst []int32, terms []string) []int32 {
 // which must have length NumDBs; previous contents are overwritten. It
 // returns false when alg is not one of the compiled algorithm families
 // (CORI, Gloss) — the caller should fall back to Algorithm.Scores.
+//
+//lint:hotpath
 func (c *Compiled) ScoreInto(alg Algorithm, ids []int32, scores []float64) bool {
 	switch a := alg.(type) {
 	case CORI:
@@ -320,6 +324,8 @@ func (c *Compiled) scoreGloss(g Gloss, ids []int32, scores []float64) {
 // is appended to from empty). The ranking is identical to Rank over the
 // same models: best first, ties by database index. ok reports whether alg
 // is a compiled algorithm family.
+//
+//lint:hotpath
 func (c *Compiled) RankInto(alg Algorithm, ids []int32, scores []float64, out []Ranked) ([]Ranked, bool) {
 	if !c.ScoreInto(alg, ids, scores) {
 		return out, false

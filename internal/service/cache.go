@@ -52,10 +52,38 @@ func newRankCache(capacity int) *rankCache {
 	}
 }
 
-// acquire returns the entry for key and whether the caller is its leader.
-// The leader must call fulfill exactly once; everyone else waits on
-// entry.ready. An existing entry is refreshed to most-recently-used.
-func (c *rankCache) acquire(key rankCacheKey) (e *rankCacheEntry, leader bool) {
+// probe is the hit path: it returns the entry for key refreshed to
+// most-recently-used, or nil on a miss. It allocates nothing — a cache
+// hit costs one map lookup and two pointer splices under the lock.
+//
+//lint:hotpath
+func (c *rankCache) probe(key rankCacheKey) *rankCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e != nil {
+		c.moveToFront(e)
+	}
+	return e
+}
+
+// acquire is probe composed with admit: the entry for key and whether
+// the caller leads its computation. The split exists so the hit path is
+// a separately provable //lint:hotpath function; acquire is the
+// convenience form for callers that do not care.
+func (c *rankCache) acquire(key rankCacheKey) (*rankCacheEntry, bool) {
+	if e := c.probe(key); e != nil {
+		return e, false
+	}
+	return c.admit(key)
+}
+
+// admit is the miss path: it installs a fresh entry for key and makes
+// the caller its leader, unless another caller admitted the same key
+// between the caller's probe and this lock acquisition — then the
+// existing entry is returned and leader is false. The leader must call
+// fulfill exactly once; everyone else waits on entry.ready.
+func (c *rankCache) admit(key rankCacheKey) (e *rankCacheEntry, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e = c.entries[key]; e != nil {

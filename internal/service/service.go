@@ -109,11 +109,15 @@ type entry struct {
 	name string
 	addr string
 
-	// runMu serializes sampling runs on this entry. Without it, two
+	// run serializes sampling runs on this entry: a 1-buffered channel
+	// semaphore (acquire by send, release by receive). Without it, two
 	// concurrent Sample("x") calls would interleave their lastRun/model
-	// writes and corrupt a later Extend. It is always acquired before the
-	// service mutex, never while holding it.
-	runMu sync.Mutex
+	// writes and corrupt a later Extend. It is deliberately not a mutex:
+	// the guard is held across the entire network sampling run, and the
+	// lockheld discipline reserves mutexes for memory — nothing blocking
+	// may happen under one. It is always acquired before the service
+	// mutex, never while holding it.
+	run chan struct{}
 
 	db      core.Database // non-nil once connected (or local)
 	model   *langmodel.Model
@@ -159,6 +163,14 @@ type Service struct {
 	// published snapshot there.
 	snapStore   *store.SnapshotStore
 	persistSnap bool
+
+	// persistMu serializes snapshot saves, which run outside compileMu
+	// (disk I/O must not be held under the lock that gates cold queries);
+	// persisted/persistedEpoch, guarded by persistMu, keep a late save of
+	// an older snapshot from clobbering a newer one.
+	persistMu      sync.Mutex
+	persisted      bool
+	persistedEpoch uint64
 }
 
 // New returns a service that normalizes learned models with the given
@@ -256,18 +268,31 @@ func (s *Service) Register(name, addr string) error {
 	if name == "" {
 		return errors.New("service: empty database name")
 	}
+	// Load any persisted model before taking the registry lock: the store
+	// read is disk I/O, which must never run under mu (a duplicate
+	// registration wastes one read — fine for an administrative call).
+	e := newEntry(name, addr)
+	s.loadPersisted(e)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
 		return fmt.Errorf("service: database %q already registered", name)
 	}
-	e := &entry{name: name, addr: addr, stats: DBStatus{Name: name, Addr: addr}}
-	s.loadPersisted(e)
 	s.entries[name] = e
 	if e.model != nil {
 		s.invalidateAll() // a persisted model joined the served set
 	}
 	return nil
+}
+
+// newEntry builds an unpublished entry with its run guard ready.
+func newEntry(name, addr string) *entry {
+	return &entry{
+		name:  name,
+		addr:  addr,
+		run:   make(chan struct{}, 1),
+		stats: DBStatus{Name: name, Addr: addr},
+	}
 }
 
 // RegisterLocal adds an in-process database (used by tests, examples, and
@@ -279,13 +304,14 @@ func (s *Service) RegisterLocal(name string, db core.Database) error {
 	if db == nil {
 		return errors.New("service: nil database")
 	}
+	e := newEntry(name, "")
+	e.db = db
+	s.loadPersisted(e) // before the lock: store reads are disk I/O
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
 		return fmt.Errorf("service: database %q already registered", name)
 	}
-	e := &entry{name: name, db: db, stats: DBStatus{Name: name}}
-	s.loadPersisted(e)
 	s.entries[name] = e
 	if e.model != nil {
 		s.invalidateAll()
@@ -293,7 +319,9 @@ func (s *Service) RegisterLocal(name string, db core.Database) error {
 	return nil
 }
 
-// loadPersisted fills e.model from the store when available. Caller holds mu.
+// loadPersisted fills e.model from the store when available. e must be
+// unpublished (not yet in s.entries) so no lock is needed; s.st is
+// immutable after New.
 func (s *Service) loadPersisted(e *entry) {
 	if s.st == nil {
 		return
@@ -308,20 +336,26 @@ func (s *Service) loadPersisted(e *entry) {
 	e.stats.SampledDocs = m.Docs()
 }
 
-// Unregister removes a database and its persisted model.
+// Unregister removes a database and its persisted model. The store
+// delete (disk I/O) happens after the registry lock is released; the
+// entry is already unpublished by then, so a concurrent Register of the
+// same name at worst re-reads a model this call is about to delete —
+// the same outcome as running the two calls in the other order.
 func (s *Service) Unregister(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.entries[name]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
 	}
 	delete(s.entries, name)
 	if e.model != nil {
 		s.invalidateAll() // its model left the served set
 	}
-	if s.st != nil {
-		return s.st.Delete(name)
+	st := s.st
+	s.mu.Unlock()
+	if st != nil {
+		return st.Delete(name)
 	}
 	return nil
 }
@@ -341,23 +375,35 @@ func (s *Service) Databases() []DBStatus {
 
 // connect returns the entry's database, dialing remote ones on demand. A
 // cached client that exhausted its retries is discarded and replaced — a
-// dead connection must not poison the entry forever. Caller holds mu.
+// dead connection must not poison the entry forever. Caller holds the
+// entry's run guard, not mu: dialing is network I/O, and the guard
+// already makes this entry's connection state single-writer, so mu is
+// taken only for the short reads and writes of e.db.
 func (s *Service) connect(e *entry) (core.Database, error) {
-	if c, ok := e.db.(*netsearch.Client); ok && c.Broken() {
-		c.Close()
+	s.mu.Lock()
+	db, addr, opts := e.db, e.addr, s.dialOpts
+	var stale *netsearch.Client
+	if c, ok := db.(*netsearch.Client); ok && c.Broken() {
+		stale, db = c, nil
 		e.db = nil
 	}
-	if e.db != nil {
-		return e.db, nil
+	s.mu.Unlock()
+	if stale != nil {
+		stale.Close() // best effort; the connection is already broken
 	}
-	if e.addr == "" {
+	if db != nil {
+		return db, nil
+	}
+	if addr == "" {
 		return nil, fmt.Errorf("service: database %q has no address", e.name)
 	}
-	client, err := netsearch.DialWith(e.addr, s.dialOpts)
+	client, err := netsearch.DialWith(addr, opts)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	e.db = client
+	s.mu.Unlock()
 	return client, nil
 }
 
@@ -419,19 +465,21 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 		return DBStatus{}, fmt.Errorf("service: %q: %w", name, ErrUnknownDatabase)
 	}
 
-	// In-flight guard: one sampling run per entry at a time. The gauge
-	// counts runs actually executing, not ones parked on the guard.
-	e.runMu.Lock()
-	defer e.runMu.Unlock()
+	// In-flight guard: one sampling run per entry at a time, held for the
+	// whole network run — which is exactly why it is a channel semaphore
+	// and not a mutex (see entry.run). The gauge counts runs actually
+	// executing, not ones parked on the guard.
+	e.run <- struct{}{}
+	defer func() { <-e.run }()
 	inflight := reg.Gauge("service_inflight_samples")
 	inflight.Add(1)
 	defer inflight.Add(-1)
 	lg.Info("sample start", "db", name, "docs", opts.Docs,
 		"extend", opts.Extend, telemetry.TraceKey, opts.TraceID)
 
-	s.mu.Lock()
 	db, err := s.connect(e)
 	if err != nil {
+		s.mu.Lock()
 		s.recordFailure(e, err)
 		st := e.stats
 		s.mu.Unlock()
@@ -440,11 +488,13 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 		return st, fmt.Errorf("service: connect %q: %w", name, err)
 	}
 	// Propagate the trace ID onto the wire: runs on this entry are
-	// serialized by runMu, so the client's trace is ours for the run.
+	// serialized by the run guard, so the client's trace is ours for the
+	// run.
 	if c, ok := db.(*netsearch.Client); ok {
 		c.SetTrace(opts.TraceID)
 		defer c.SetTrace("")
 	}
+	s.mu.Lock()
 	initial := s.initialModel()
 	prev := e.lastRun
 	s.mu.Unlock()
@@ -469,14 +519,15 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 		res, err = core.Sample(db, cfg)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err != nil {
+		s.mu.Lock()
 		s.recordFailure(e, err)
+		st := e.stats
+		s.mu.Unlock()
 		reg.Counter("service_sample_errors_total").Inc()
 		reg.Counter("service_sample_errors_total{" + dbLabel(name) + "}").Inc()
 		lg.Warn("sample failed", "db", name, telemetry.TraceKey, opts.TraceID, "err", err.Error())
-		return e.stats, fmt.Errorf("service: sample %q: %w", name, err)
+		return st, fmt.Errorf("service: sample %q: %w", name, err)
 	}
 	reg.Counter("service_samples_total").Inc()
 	reg.Counter("service_samples_total{" + dbLabel(name) + "}").Inc()
@@ -484,8 +535,10 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	reg.Counter("service_probe_queries_total").Add(int64(res.Queries))
 	lg.Info("sample done", "db", name, "docs", res.Docs, "queries", res.Queries,
 		telemetry.TraceKey, opts.TraceID)
+	model := res.Learned.Normalize(s.analyzer) // CPU-heavy; keep outside the lock
+	s.mu.Lock()
 	hadModel := e.model != nil
-	e.model = res.Learned.Normalize(s.analyzer)
+	e.model = model
 	if hadModel {
 		// A resample replaced one model in place: the next rebuild may
 		// patch just this database's rows instead of recompiling the
@@ -496,19 +549,28 @@ func (s *Service) Sample(name string, opts SampleOptions) (DBStatus, error) {
 	}
 	e.lastRun = res
 	e.stats.HasModel = true
-	e.stats.Terms = e.model.VocabSize()
+	e.stats.Terms = model.VocabSize()
 	e.stats.SampledDocs = res.Docs
 	e.stats.Queries = res.Queries
 	e.stats.LastError = ""
 	e.stats.ConsecutiveFailures = 0
 	e.stats.CircuitOpen = false
+	st := e.stats
+	s.mu.Unlock()
 	if s.st != nil {
-		if err := s.st.Put(name, e.model); err != nil {
+		// Persist after releasing the registry lock: Put fsyncs, and an
+		// fsync under mu would stall every reader behind disk. The run
+		// guard serializes runs on this entry, so the write always matches
+		// the model just installed.
+		if err := s.st.Put(name, model); err != nil {
+			s.mu.Lock()
 			e.stats.LastError = err.Error()
-			return e.stats, fmt.Errorf("service: persist %q: %w", name, err)
+			st = e.stats
+			s.mu.Unlock()
+			return st, fmt.Errorf("service: persist %q: %w", name, err)
 		}
 	}
-	return e.stats, nil
+	return st, nil
 }
 
 // SampleAll samples every registered database concurrently with the same
@@ -781,17 +843,30 @@ func (s *Service) Summary(name string, metricName string, k int) ([]summarize.Ro
 	return summarize.Top(m, metric, k, analysis.InqueryStoplist()), nil
 }
 
-// Close releases remote connections.
+// Close releases remote connections. The clients are detached from the
+// registry under the lock, then closed outside it (Close writes a FIN to
+// the peer — network I/O that must not run under mu); name order makes
+// any close-error deterministic.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var firstErr error
-	for _, e := range s.entries {
+	names := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	clients := make([]*netsearch.Client, 0, len(names))
+	for _, name := range names {
+		e := s.entries[name]
 		if c, ok := e.db.(*netsearch.Client); ok {
-			if err := c.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+			clients = append(clients, c)
 			e.db = nil
+		}
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

@@ -91,15 +91,29 @@ func (s *Service) SetSnapshotStore(ss *store.SnapshotStore, persist bool) {
 // snapshot returns a compiled snapshot no older than the model set at call
 // time, rebuilding at most once per generation. The fast path is two
 // atomic loads; rebuilds are single-flighted through compileMu so a
-// resample storm compiles once, not once per waiting query.
+// resample storm compiles once, not once per waiting query. Persistence
+// happens after compileMu is released: the save is disk I/O, and
+// compileMu gates every cold query — holding it across an fsync would
+// turn one slow disk into a service-wide stall (the lockheld invariant).
 func (s *Service) snapshot() *snapshotSet {
 	if snap := s.snap.Load(); snap != nil && snap.epoch == s.gen.Load() {
 		return snap
 	}
+	snap, compiled := s.rebuild()
+	if compiled {
+		s.persistSnapshot(snap)
+	}
+	return snap
+}
+
+// rebuild compiles and publishes a fresh snapshot under compileMu,
+// reporting whether this call did the compiling (false when another
+// query's rebuild won the race — that query persists it).
+func (s *Service) rebuild() (*snapshotSet, bool) {
 	s.compileMu.Lock()
 	defer s.compileMu.Unlock()
 	if snap := s.snap.Load(); snap != nil && snap.epoch == s.gen.Load() {
-		return snap // another query rebuilt while we waited
+		return snap, false // another query rebuilt while we waited
 	}
 
 	reg := s.Metrics()
@@ -138,8 +152,7 @@ func (s *Service) snapshot() *snapshotSet {
 
 	snap := &snapshotSet{epoch: gen, names: names, models: models, compiled: compiled}
 	s.snap.Store(snap)
-	s.persistSnapshot(snap)
-	return snap
+	return snap, true
 }
 
 // compile builds the flat arrays for the collected model set, patching
@@ -186,8 +199,10 @@ func (s *Service) compile(names []string, models []*langmodel.Model, dirty map[s
 // persistSnapshot saves a freshly published snapshot to the attached
 // store. Persistence is best effort — the snapshot already serves from
 // memory, so a failed save costs the next restart a recompile, nothing
-// more — and runs on the (single-flighted, rare) compile path, keeping
-// the store's no-concurrent-saves contract without extra machinery.
+// more. It runs outside compileMu, so two successive rebuilds can race
+// here: persistMu serializes the saves (SnapshotStore forbids concurrent
+// Save), and the epoch guard drops a late save of an older snapshot
+// rather than letting it clobber a newer one already on disk.
 func (s *Service) persistSnapshot(snap *snapshotSet) {
 	s.mu.RLock()
 	ss, persist := s.snapStore, s.persistSnap
@@ -200,6 +215,12 @@ func (s *Service) persistSnapshot(snap *snapshotSet) {
 	for i, m := range snap.models {
 		fps[i] = m.Fingerprint()
 	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.persisted && snap.epoch <= s.persistedEpoch {
+		return // a newer (or this very) snapshot is already on disk
+	}
+	//lint:ignore lockheld persistMu exists solely to serialize Save against a racing later compile; it nests inside no other lock and no query-serving path can wait on it
 	n, err := ss.Save(&selection.Snapshot{
 		Epoch:        snap.epoch,
 		Names:        snap.names,
@@ -211,6 +232,7 @@ func (s *Service) persistSnapshot(snap *snapshotSet) {
 		s.log().Warn("snapshot persist failed", "err", err.Error())
 		return
 	}
+	s.persisted, s.persistedEpoch = true, snap.epoch
 	reg.Counter("service_snapshot_persists_total").Inc()
 	reg.Gauge("service_snapshot_bytes").Set(n)
 }
