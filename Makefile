@@ -11,11 +11,11 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Tier-1 benchmark set for the regression gate (see bench-check).
-BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile|RepolintFullRepo
+BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile|RepolintFullRepo|ScatterGather
 # Benchmarks that must be present in every recording; benchdiff record
 # fails otherwise, so a renamed/filtered-out rank benchmark cannot
 # silently drop out of the regression gate.
-BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile,RepolintFullRepo
+BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile,RepolintFullRepo,ScatterGather
 # Repeated runs per benchmark; benchdiff keeps the median, which is what
 # makes a 25% threshold usable on noisy shared CI machines.
 BENCH_COUNT ?= 5
@@ -96,11 +96,12 @@ lint-sarif:
 	$(GO) run ./cmd/repolint -sarif repolint.sarif ./...
 
 # Chaos suite: deterministic fault injection (internal/faulty) driving
-# the sampling fabric end to end — injected transport faults, truncated
-# frames, server restarts, tripped circuit breakers — always under the
-# race detector. Every fault pattern is seeded, so failures replay.
+# the sampling fabric and the scatter-gather cluster end to end —
+# injected transport faults, truncated frames, server restarts, tripped
+# circuit breakers, a shard killed mid-query — always under the race
+# detector. Every fault pattern is seeded, so failures replay.
 chaos:
-	$(GO) test -race -run 'Chaos' ./internal/netsearch ./internal/service ./internal/faulty
+	$(GO) test -race -run 'Chaos' ./internal/netsearch ./internal/service ./internal/faulty ./internal/cluster
 
 # Short-budget fuzz pass over the parser-shaped attack surfaces:
 # tokenization, stemming, and the two model readers. Each target gets

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/selection"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -722,6 +725,80 @@ func BenchmarkTokenizeASCII(b *testing.B) {
 		dst = analysis.AppendTokens(dst[:0], text)
 		if len(dst) == 0 {
 			b.Fatal("no tokens")
+		}
+	}
+}
+
+// BenchmarkScatterGather prices one federated rank query through the
+// cluster front tier: scatter to 4 in-process shards over loopback TCP,
+// gather the partial rankings, and fuse them into one top-k.
+// BenchmarkRank100DBs is the single-process floor for the same model
+// set; the delta is the fabric-plus-fusion tax of going sharded.
+func BenchmarkScatterGather(b *testing.B) {
+	const nDBs, nShards = 100, 4
+	models, words := rankBenchModels(nDBs)
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, nDBs)
+	for i, m := range models {
+		names[i] = fmt.Sprintf("db-%03d", i)
+		if err := st.Put(names[i], m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Each shard registers its ring-assigned share of the databases and
+	// loads their models from the shared store — the warm-start path, so
+	// no sampling runs inside the benchmark.
+	ring := cluster.NewRing(nShards, 0, 0)
+	addrs := make([][]string, nShards)
+	for s := 0; s < nShards; s++ {
+		svc := service.New(analysis.Database(), st)
+		defer svc.Close()
+		srv, err := cluster.ServeShard(svc, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[s] = []string{srv.Addr()}
+		for _, name := range names {
+			if ring.Owner(name) != s {
+				continue
+			}
+			if err := svc.Register(name, "bench.invalid:0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	front, err := cluster.NewFront(addrs, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer front.Close()
+
+	queries := make([]string, 16)
+	src := randx.New(0x9a3e)
+	for i := range queries {
+		q := make([]string, 4)
+		for j := range q {
+			q[j] = words[src.Intn(len(words))]
+		}
+		queries[i] = strings.Join(q, " ")
+	}
+	// One warm query dials every shard and compiles their snapshots.
+	if _, err := front.Rank(queries[0], "cori", 10, ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked, err := front.Rank(queries[i%len(queries)], "cori", 10, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ranked) != 10 {
+			b.Fatal("short ranking")
 		}
 	}
 }

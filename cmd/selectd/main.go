@@ -7,6 +7,19 @@
 //
 //	selectd [-addr :8080] [-store ./models] [-snapshot-dir ./snap] [-demo n] [-timeout 10s] [-retries 3]
 //
+// Cluster mode (DESIGN.md §13): with -join, the instance additionally
+// serves its rank/register capabilities over the netsearch fabric on the
+// given address, making it a shard other processes can scatter to. With
+// -shards, the instance instead runs as a stateless front tier over the
+// given topology — slots comma-separated, replicas within a slot
+// |-separated — scattering every /rank to all slots and fusing the
+// partial rankings:
+//
+//	selectd -join 127.0.0.1:9001 ...   # shard (full selectd + fabric)
+//	selectd -shards 'h1:9001|h2:9001,h1:9002|h2:9002'   # front tier
+//
+// Without either flag, selectd is the unchanged single-process service.
+//
 // With -snapshot-dir, the compiled selection snapshot is persisted in a
 // checksummed binary segment and adopted on restart (a warm start: the
 // first /rank serves without recompiling the federation); -snapshot-persist
@@ -38,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/netsearch"
 	"repro/internal/service"
@@ -57,11 +71,55 @@ func main() {
 	retries := flag.Int("retries", netsearch.DefaultAttempts, "attempts per remote operation, redialing with backoff in between (1 = no retry)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log", "info", "log level: debug, info, warn, error")
+	shards := flag.String("shards", "", "run as a stateless front tier over this shard topology (slots comma-separated, replicas |-separated)")
+	join := flag.String("join", "", "also serve this instance as a cluster shard on this netsearch address")
+	ringSeed := flag.Uint64("ring-seed", 0, "placement ring seed (front tier; must match across fronts of one cluster)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "selectd: "+format+"\n", args...)
 		os.Exit(1)
+	}
+	if *shards != "" && *join != "" {
+		fail("-shards and -join are mutually exclusive: a front tier owns no models to serve as a shard")
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fail("bad -log level %q: %v", *logLevel, err)
+	}
+	reg := telemetry.NewRegistry()
+	logger := telemetry.NewLogger(os.Stderr, level, true)
+
+	// Front-tier mode: no service, no store — just ring geometry, shard
+	// clients, and transient health. Everything below is shard/single-
+	// process setup.
+	if *shards != "" {
+		slots, err := cluster.ParseSlots(*shards)
+		if err != nil {
+			fail("%v", err)
+		}
+		front, err := cluster.NewFront(slots, cluster.Options{
+			Net: netsearch.Options{
+				Timeout: *timeout,
+				Retry:   netsearch.RetryPolicy{Attempts: *retries},
+				Metrics: reg,
+				Logger:  logger,
+			},
+			Seed:    *ringSeed,
+			Metrics: reg,
+			Logger:  logger,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		//lint:ignore errsink process-exit cleanup; a close error after serving has no consumer
+		defer front.Close()
+		fmt.Printf("front tier over %d slots listening on http://%s\n", len(slots), *addr)
+		if err := http.ListenAndServe(*addr, front.Handler()); err != nil {
+			fail("%v", err)
+		}
+		return
 	}
 
 	var st *store.Store
@@ -73,13 +131,6 @@ func main() {
 		}
 		fmt.Printf("persisting models under %s\n", st.Dir())
 	}
-
-	var level slog.Level
-	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
-		fail("bad -log level %q: %v", *logLevel, err)
-	}
-	reg := telemetry.NewRegistry()
-	logger := telemetry.NewLogger(os.Stderr, level, true)
 
 	svc := service.New(analysis.Database(), st)
 	//lint:ignore errsink process-exit cleanup; a close error after serving has no consumer
@@ -151,6 +202,19 @@ func main() {
 		} else {
 			fmt.Printf("warm start: compiled snapshot loaded from %s\n", snaps.Dir())
 		}
+	}
+
+	// Shard mode: the full service keeps its HTTP API (operators register
+	// and sample through it as usual) and additionally answers the front
+	// tier's scattered rank/register RPCs on the fabric address.
+	if *join != "" {
+		shardSrv, err := cluster.ServeShard(svc, *join)
+		if err != nil {
+			fail("%v", err)
+		}
+		//lint:ignore errsink process-exit cleanup; a close error after serving has no consumer
+		defer shardSrv.Close()
+		fmt.Printf("serving as cluster shard on %s (netsearch fabric)\n", shardSrv.Addr())
 	}
 
 	handler := svc.Handler()

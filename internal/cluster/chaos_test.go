@@ -1,0 +1,141 @@
+package cluster
+
+// Chaos suite for the cluster tier: a shard replica is killed in the
+// middle of a scattered rank query — its last frame truncated on the
+// wire, its listener gone for redials — and the front must answer the
+// query from the surviving replica with a bit-identical fused ranking.
+// That identity is the payoff of deterministic sampling: replicas that
+// sampled the same databases with the same seeds hold byte-identical
+// models, so failover is invisible to the caller. Run with `make chaos`
+// (always under -race in CI).
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+	"repro/internal/faulty"
+	"repro/internal/netsearch"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func TestChaosShardKillFailover(t *testing.T) {
+	dbs, err := experiments.Federation(4, 150, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := service.SampleOptions{Docs: 40, Seed: 7}
+
+	// Two slots, two replicas each, all real services.
+	const nSlots, nReplicas = 2, 2
+	svcs := make([][]*service.Service, nSlots)
+	servers := make([][]*netsearch.Server, nSlots)
+	addrs := make([][]string, nSlots)
+	for s := 0; s < nSlots; s++ {
+		for r := 0; r < nReplicas; r++ {
+			svc := service.New(analysis.Database(), nil)
+			srv, err := ServeShard(svc, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			svcs[s] = append(svcs[s], svc)
+			servers[s] = append(servers[s], srv)
+			addrs[s] = append(addrs[s], srv.Addr())
+		}
+	}
+
+	// The victim is the first replica of whichever slot owns dbs[0], so
+	// the killed shard is provably serving part of the answer. Its
+	// connections are wrapped from the start: the first Write (the warm
+	// query) passes, the second is truncated mid-frame — the query that
+	// is on the wire when the shard dies.
+	ring := NewRing(nSlots, 0, 0)
+	victimSlot := ring.Owner(dbs[0].Name)
+	victimAddr := addrs[victimSlot][0]
+	dial := func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if addr == victimAddr {
+			return faulty.WrapConn(c, faulty.ConnOptions{FailWriteCall: 2}), nil
+		}
+		return c, nil
+	}
+
+	reg := telemetry.NewRegistry()
+	f, err := NewFront(addrs, Options{
+		Net: netsearch.Options{
+			DialFunc:  dial,
+			Retry:     netsearch.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1},
+			SleepFunc: func(time.Duration) {},
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+
+	// Replicas of a slot hold the same databases and sample them with the
+	// same options — deterministic sampling makes their models, and hence
+	// their partial rankings, byte-identical.
+	for _, db := range dbs {
+		for _, svc := range svcs[f.Ring().Owner(db.Name)] {
+			if err := svc.RegisterLocal(db.Name, db.Index); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Sample(db.Name, sample); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	terms := experiments.TopicalTerms(dbs[0], dbs, 4)
+	query := terms[0] + " " + terms[1]
+
+	baseline, err := f.Rank(query, "cori", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("warm query returned an empty ranking; the chaos scenario needs a real answer to protect")
+	}
+
+	// Kill the victim: the listener goes away (redials will be refused)
+	// and the next frame on the warm connection dies mid-write.
+	servers[victimSlot][0].Close()
+
+	failoversBefore := reg.Snapshot().Counters["cluster_failovers_total"]
+	for i := 0; i < DefaultTripThreshold+1; i++ {
+		got, err := f.Rank(query, "cori", 0, "")
+		if err != nil {
+			t.Fatalf("rank %d after shard kill: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("rank %d after shard kill diverged:\n got %+v\nwant %+v", i, got, baseline)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cluster_failovers_total"] <= failoversBefore {
+		t.Errorf("cluster_failovers_total = %d, want > %d after killing a shard",
+			snap.Counters["cluster_failovers_total"], failoversBefore)
+	}
+	if snap.Counters["cluster_breaker_trips_total"] == 0 {
+		t.Error("the dead replica's breaker never tripped")
+	}
+	open := false
+	for _, h := range f.Health() {
+		if h.Addr == victimAddr && h.BreakerOpen {
+			open = true
+		}
+	}
+	if !open {
+		t.Errorf("dead replica %s not marked open in %+v", victimAddr, f.Health())
+	}
+}

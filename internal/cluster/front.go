@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+
+	"repro/internal/netsearch"
+	"repro/internal/parallel"
+	"repro/internal/selection"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// DefaultTripThreshold is the number of consecutive failed RPCs after
+// which the front tier stops preferring a replica (its breaker opens).
+// An open replica is still probed as a last resort — and any success
+// closes the breaker again — mirroring the sampling fabric's half-open
+// discipline.
+const DefaultTripThreshold = 3
+
+// Options configure a front tier.
+type Options struct {
+	// Net carries the fault tolerance every shard RPC inherits from the
+	// netsearch fabric: per-op deadlines, retry/backoff policy, dial
+	// hooks for fault injection, and metrics/logging.
+	Net netsearch.Options
+	// TripAfter is the per-replica breaker threshold (default
+	// DefaultTripThreshold; < 0 disables the breaker).
+	TripAfter int
+	// Vnodes and Seed parameterize the placement ring (see NewRing).
+	Vnodes int
+	Seed   uint64
+	// Metrics receives the scatter-path instruments:
+	// cluster_scatter_seconds, cluster_shard_errors{shard=...},
+	// cluster_failovers_total, cluster_breaker_trips_total. nil disables.
+	Metrics *telemetry.Registry
+	// Logger receives one line per failover and breaker transition. nil
+	// discards.
+	Logger *slog.Logger
+}
+
+// replica is one shard process inside a slot, with the front's local
+// view of its health. The breaker state is the front tier's own (a
+// stateless front must not depend on shard-side state to route around a
+// dead shard); it feeds the shared telemetry registry.
+type replica struct {
+	slot int
+	addr string
+
+	mu     sync.Mutex
+	client *netsearch.Client // lazily dialed; replaced when broken
+	fails  int               // consecutive RPC failures
+	open   bool              // breaker: deprioritize until a success
+}
+
+// ReplicaHealth is the front tier's view of one shard replica, exposed
+// on GET /cluster for operators and tests.
+type ReplicaHealth struct {
+	Slot                int    `json:"slot"`
+	Addr                string `json:"addr"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	BreakerOpen         bool   `json:"breaker_open,omitempty"`
+}
+
+// Front is a stateless scatter-gather tier over a sharded selectd
+// cluster: it owns no models and no registry, only the ring geometry,
+// the replica addresses, and transient health — so any number of fronts
+// can serve the same cluster and a restarted front is warm instantly.
+//
+// A rank query is scattered to every slot over the netsearch fabric
+// (slots partition the database set, so all of them own part of the
+// answer), each slot answering from its first healthy replica, and the
+// partial rankings are fused with selection.MergeWeighted into one
+// top-k. Registration routes by ring placement to the owning slot's
+// replicas. All methods are safe for concurrent use.
+type Front struct {
+	ring      *Ring
+	reps      [][]*replica // [slot][replica], configured failover order
+	tripAfter int
+	netOpts   netsearch.Options
+	reg       *telemetry.Registry
+	logger    *slog.Logger
+	traces    *telemetry.TraceIDs
+}
+
+// NewFront builds a front tier over the given slot topology: slots[i] is
+// the replica address list of ring slot i, in failover-preference order.
+func NewFront(slots [][]string, opts Options) (*Front, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("cluster: front needs at least one slot")
+	}
+	for i, reps := range slots {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: slot %d has no replica addresses", i)
+		}
+	}
+	tripAfter := opts.TripAfter
+	if tripAfter == 0 {
+		tripAfter = DefaultTripThreshold
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	f := &Front{
+		ring:      NewRing(len(slots), opts.Vnodes, opts.Seed),
+		reps:      make([][]*replica, len(slots)),
+		tripAfter: tripAfter,
+		netOpts:   opts.Net,
+		reg:       opts.Metrics,
+		logger:    logger,
+		traces:    telemetry.NewTraceIDs("req"),
+	}
+	if f.netOpts.Metrics == nil {
+		f.netOpts.Metrics = opts.Metrics
+	}
+	for i, addrs := range slots {
+		f.reps[i] = make([]*replica, len(addrs))
+		for j, addr := range addrs {
+			f.reps[i][j] = &replica{slot: i, addr: addr}
+		}
+	}
+	return f, nil
+}
+
+// ParseSlots parses a -shards topology spec: slots separated by commas,
+// replicas within a slot separated by "|", e.g.
+//
+//	"h1:9001|h2:9001,h1:9002|h2:9002"
+//
+// is two slots with two replicas each.
+func ParseSlots(spec string) ([][]string, error) {
+	var slots [][]string
+	for i, group := range strings.Split(spec, ",") {
+		var reps []string
+		for _, addr := range strings.Split(group, "|") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				reps = append(reps, addr)
+			}
+		}
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: slot %d of spec %q has no replica addresses", i, spec)
+		}
+		slots = append(slots, reps)
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("cluster: empty topology spec")
+	}
+	return slots, nil
+}
+
+// Ring exposes the placement ring (read-only; the ring is immutable).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Health returns the front's view of every replica, slot-major — the
+// per-shard health that also feeds the telemetry registry.
+func (f *Front) Health() []ReplicaHealth {
+	var out []ReplicaHealth
+	for _, reps := range f.reps {
+		for _, r := range reps {
+			r.mu.Lock()
+			out = append(out, ReplicaHealth{
+				Slot: r.slot, Addr: r.addr,
+				ConsecutiveFailures: r.fails, BreakerOpen: r.open,
+			})
+			r.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// Close releases every dialed shard connection.
+func (f *Front) Close() error {
+	var firstErr error
+	for _, reps := range f.reps {
+		for _, r := range reps {
+			r.mu.Lock()
+			c := r.client
+			r.client = nil
+			r.mu.Unlock()
+			if c != nil {
+				if err := c.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// Rank scatters the query to every slot, gathers the partial rankings,
+// and fuses them into a single top-k with selection.MergeWeighted (every
+// slot weighted equally — slots partition the database set, so partial
+// scores are already on the algorithm's own scale and pass through
+// unscaled). Ties break by (slot, partial rank) — deterministic for a
+// fixed topology, and invariant under failover because replicas of a
+// slot serve identical database sets and deterministic models. trace
+// correlates the scattered frames with the originating request.
+func (f *Front) Rank(query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
+	defer f.reg.Timer("cluster_scatter_seconds")()
+	partials, err := parallel.Map(len(f.reps), f.reps, func(slot int, _ []*replica) ([]netsearch.RankedDB, error) {
+		return f.rankSlot(slot, query, alg, k, trace)
+	})
+	if err != nil {
+		f.reg.Counter("cluster_scatter_errors_total").Inc()
+		return nil, err
+	}
+	lists := make([][]selection.DocScore, len(partials))
+	weights := make([]float64, len(partials))
+	total := 0
+	for slot, partial := range partials {
+		list := make([]selection.DocScore, len(partial))
+		for i, r := range partial {
+			list[i] = selection.DocScore{Doc: i, Score: r.Score}
+		}
+		lists[slot] = list
+		weights[slot] = 1
+		total += len(partial)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("cluster: %w", service.ErrNoModels)
+	}
+	merged, err := selection.MergeWeighted(lists, weights, k)
+	if err != nil {
+		// Unreachable by construction (lists and weights are built
+		// together above); surfaced rather than swallowed all the same.
+		return nil, fmt.Errorf("cluster: fuse: %w", err)
+	}
+	out := make([]netsearch.RankedDB, len(merged))
+	for i, h := range merged {
+		out[i] = netsearch.RankedDB{Name: partials[h.DB][h.Doc].Name, Score: h.Score}
+	}
+	return out, nil
+}
+
+// rankSlot answers one slot's share of a scattered query, failing over
+// across the slot's replicas: healthy ones first in configured order,
+// then open-breaker ones as last-resort half-open probes. A marked
+// invalid-argument error aborts immediately — every replica would refuse
+// the same way, so failover cannot help and the client gets its 400.
+func (f *Front) rankSlot(slot int, query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
+	reps := f.reps[slot]
+	ordered := make([]*replica, 0, len(reps))
+	var open []*replica
+	for _, r := range reps {
+		if r.breakerOpen() {
+			open = append(open, r)
+		} else {
+			ordered = append(ordered, r)
+		}
+	}
+	if len(ordered) > 0 && len(open) > 0 && open[0] == reps[0] {
+		// The preferred replica sat behind an open breaker and was routed
+		// around: that is a failover even if the healthy one answers.
+		f.countFailover(slot, "breaker open")
+	}
+	ordered = append(ordered, open...)
+	var lastErr error
+	for i, r := range ordered {
+		if i > 0 {
+			f.countFailover(slot, fmt.Sprint(lastErr))
+		}
+		ranked, err := f.rankReplica(r, query, alg, k, trace)
+		if err == nil {
+			return ranked, nil
+		}
+		if classified := classify(err); classified != err {
+			// Marked by the shard as the client's mistake: deterministic
+			// across replicas, so do not burn failovers or health on it.
+			return nil, classified
+		}
+		f.recordFailure(r, err)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: slot %d: all %d replicas failed: %w", slot, len(ordered), lastErr)
+}
+
+// rankReplica performs the RPC against one replica, dialing (or
+// redialing a broken connection) as needed and updating breaker state.
+func (f *Front) rankReplica(r *replica, query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
+	c, err := f.connect(r)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := c.RankDBs(query, alg, k, trace)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.fails = 0
+	wasOpen := r.open
+	r.open = false
+	r.mu.Unlock()
+	if wasOpen {
+		f.logger.Info("cluster breaker closed", "slot", r.slot, "replica", r.addr)
+	}
+	return ranked, nil
+}
+
+// connect returns the replica's client, dialing on demand and replacing
+// a client whose connection died beyond repair. Dialing is network I/O
+// and runs outside the replica lock; a concurrent dial race is settled
+// under the lock with the loser's connection closed.
+func (f *Front) connect(r *replica) (*netsearch.Client, error) {
+	r.mu.Lock()
+	c := r.client
+	var stale *netsearch.Client
+	if c != nil && c.Broken() {
+		stale, c = c, nil
+		r.client = nil
+	}
+	r.mu.Unlock()
+	if stale != nil {
+		stale.Close() // already broken; closing is best-effort teardown
+	}
+	if c != nil {
+		return c, nil
+	}
+	dialed, err := netsearch.DialWith(r.addr, f.netOpts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.client != nil && !r.client.Broken() {
+		winner := r.client
+		r.mu.Unlock()
+		dialed.Close() // losing half of a dial race; the winner is what matters
+		return winner, nil
+	}
+	r.client = dialed
+	r.mu.Unlock()
+	return dialed, nil
+}
+
+// breakerOpen reports the replica's breaker state.
+func (r *replica) breakerOpen() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.open
+}
+
+// recordFailure books one failed RPC against the replica: the per-shard
+// error counter, the consecutive-failure count, and — past the trip
+// threshold — the breaker.
+func (f *Front) recordFailure(r *replica, err error) {
+	f.reg.Counter(`cluster_shard_errors{shard="` + shardLabel(r.slot, r.addr) + `"}`).Inc()
+	r.mu.Lock()
+	r.fails++
+	tripped := f.tripAfter > 0 && r.fails >= f.tripAfter && !r.open
+	if tripped {
+		r.open = true
+	}
+	fails := r.fails
+	r.mu.Unlock()
+	if tripped {
+		f.reg.Counter("cluster_breaker_trips_total").Inc()
+		f.logger.Warn("cluster breaker tripped",
+			"slot", r.slot, "replica", r.addr, "consecutive_failures", fails)
+	}
+	f.logger.Debug("cluster shard rpc failed", "slot", r.slot, "replica", r.addr, "err", err.Error())
+}
+
+// countFailover books one routed-around replica.
+func (f *Front) countFailover(slot int, why string) {
+	f.reg.Counter("cluster_failovers_total").Inc()
+	f.logger.Info("cluster failover", "slot", slot, "reason", why)
+}
+
+// shardLabel renders a slot/replica pair as a bounded Prometheus label
+// value (addresses come from the operator's topology spec, never from
+// clients, so cardinality is the cluster size).
+func shardLabel(slot int, addr string) string {
+	return labelEscaper.Replace(fmt.Sprintf("s%d/%s", slot, addr))
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)

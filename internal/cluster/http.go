@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// Front HTTP API — the cluster's client-facing surface, mirroring the
+// single-process selectd endpoints it stands in for:
+//
+//	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB (scatter-gathered)
+//	POST   /databases                      {"name":"x","addr":"host:port"}
+//	                                       (routed to the owning slot's replicas)
+//	DELETE /databases/{name}               (routed likewise)
+//	GET    /cluster                        -> topology + per-replica health
+//	GET    /healthz
+//	GET    /metrics, /debug/vars           (when Options.Metrics was set)
+//
+// Sampling stays shard-side: replicas sample their registered databases
+// through their own HTTP APIs with identical seeds, which (sampling
+// being deterministic) keeps replica models byte-identical.
+
+// Handler returns the front tier's HTTP handler.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "front", "slots": f.ring.Slots()})
+	})
+	mux.HandleFunc("/rank", f.handleRank)
+	mux.HandleFunc("/databases", f.handleDatabases)
+	mux.HandleFunc("/databases/", f.handleDatabase)
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"slots":    f.ring.Slots(),
+			"replicas": f.Health(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if f.reg != nil {
+			telemetry.Handler(f.reg).ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		if f.reg != nil {
+			telemetry.VarsHandler(f.reg).ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	return f.instrument(mux)
+}
+
+// instrument is the front's observability middleware: trace IDs (honored
+// from X-Trace-Id, echoed back, and propagated onto every scattered wire
+// frame), status-class counters, request latency, one log line per
+// request — the same contract the single-process service keeps.
+func (f *Front) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get("X-Trace-Id")
+		if trace == "" {
+			trace = f.traces.Next()
+		}
+		w.Header().Set("X-Trace-Id", trace)
+		r.Header.Set("X-Trace-Id", trace) // downstream handlers read it back
+
+		sp := f.reg.StartSpan("http_request_seconds")
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		d := sp.End()
+
+		f.reg.Counter("http_requests_total").Inc()
+		f.reg.Counter(fmt.Sprintf(`http_responses_total{class="%dxx"}`, sw.status/100)).Inc()
+		switch {
+		case sw.status >= 500:
+			f.reg.Counter("http_5xx_total").Inc()
+		case sw.status >= 400:
+			f.reg.Counter("http_4xx_total").Inc()
+		}
+		f.logger.Info("front request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"elapsed", d, telemetry.TraceKey, trace)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps a scatter-path error the same way the single-process
+// service does: the client's mistakes are 400, an unready federation is
+// 503, everything else — including a slot whose replicas all failed — is
+// a 502 the caller can alert on.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownDatabase):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, service.ErrNoModels):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+func (f *Front) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query()
+	k, _ := strconv.Atoi(q.Get("k"))
+	ranked, err := f.Rank(q.Get("q"), q.Get("alg"), k, r.Header.Get("X-Trace-Id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ranked)
+}
+
+func (f *Front) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only (listing is served by the shards)"))
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Addr == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("addr is required"))
+		return
+	}
+	if err := service.ValidateName(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	slot := f.ring.Owner(req.Name)
+	if err := f.registerOnSlot(slot, req.Name, req.Addr); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"registered": req.Name, "slot": slot})
+}
+
+func (f *Front) handleDatabase(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.EscapedPath(), "/databases/")
+	name, err := url.PathUnescape(rest)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad database name %q: %w", rest, err))
+		return
+	}
+	if name == "" || r.Method != http.MethodDelete {
+		writeErr(w, http.StatusNotFound, errors.New("unknown endpoint (shard-local operations are served by the shards)"))
+		return
+	}
+	slot := f.ring.Owner(name)
+	if err := f.unregisterOnSlot(slot, name); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "slot": slot})
+}
+
+// registerOnSlot places a database on every replica of its owning slot.
+// "Already registered" from a replica counts as success, so the call is
+// idempotent and a retry heals a previous partial failure instead of
+// conflicting with it.
+func (f *Front) registerOnSlot(slot int, name, addr string) error {
+	for _, r := range f.reps[slot] {
+		c, err := f.connect(r)
+		if err != nil {
+			f.recordFailure(r, err)
+			return fmt.Errorf("cluster: register %q on slot %d replica %s: %w", name, slot, r.addr, err)
+		}
+		err = classify(c.RegisterDB(name, addr))
+		switch {
+		case err == nil, errors.Is(err, service.ErrExists):
+			// Registered, or already there: idempotent success.
+		case errors.Is(err, service.ErrInvalid):
+			// The client's mistake, not the replica's health.
+			return fmt.Errorf("cluster: register %q on slot %d replica %s: %w", name, slot, r.addr, err)
+		default:
+			f.recordFailure(r, err)
+			return fmt.Errorf("cluster: register %q on slot %d replica %s: %w", name, slot, r.addr, err)
+		}
+	}
+	return nil
+}
+
+// unregisterOnSlot removes a database from every replica of its owning
+// slot. Only when every replica reports the name unknown does the front
+// answer 404; one replica knowing it means a previous partial state is
+// being healed.
+func (f *Front) unregisterOnSlot(slot int, name string) error {
+	unknown := 0
+	for _, r := range f.reps[slot] {
+		c, err := f.connect(r)
+		if err != nil {
+			f.recordFailure(r, err)
+			return fmt.Errorf("cluster: unregister %q on slot %d replica %s: %w", name, slot, r.addr, err)
+		}
+		err = classify(c.UnregisterDB(name))
+		switch {
+		case err == nil:
+		case errors.Is(err, service.ErrUnknownDatabase):
+			unknown++
+		default:
+			f.recordFailure(r, err)
+			return fmt.Errorf("cluster: unregister %q on slot %d replica %s: %w", name, slot, r.addr, err)
+		}
+	}
+	if unknown == len(f.reps[slot]) {
+		return fmt.Errorf("cluster: %q on slot %d: %w", name, slot, service.ErrUnknownDatabase)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/netsearch"
+	"repro/internal/service"
+)
+
+// Error markers carried in wire error strings between a shard and the
+// front tier. The netsearch fabric transports errors as opaque text; the
+// shard adapter prefixes the classes the front's failover logic must
+// distinguish — a client mistake (no replica will answer differently, so
+// failing over is pointless) versus an infrastructure failure (the next
+// replica may well succeed). Both ends of the convention live in this
+// package.
+const (
+	markInvalid = "EINVAL: "
+	markExists  = "EEXIST: "
+	markUnknown = "ENOENT: "
+)
+
+// Shard adapts a selection service to the netsearch fabric so a front
+// tier can scatter to it: it implements core.Database (vacuously — a
+// shard is not a document database), netsearch.DBRanker, and
+// netsearch.Registrar. Serve it with ServeShard.
+type Shard struct {
+	svc *service.Service
+}
+
+// NewShard wraps a service for serving over netsearch.
+func NewShard(svc *service.Service) *Shard { return &Shard{svc: svc} }
+
+// ServeShard exposes svc's rank/register capabilities on addr over the
+// netsearch wire protocol — the shard's way of joining the scatter
+// fabric. The returned server is stopped with Close.
+func ServeShard(svc *service.Service, addr string) (*netsearch.Server, error) {
+	srv, err := netsearch.Serve(NewShard(svc), addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard listen %s: %w", addr, err)
+	}
+	return srv, nil
+}
+
+// Search implements core.Database. A shard serves database rankings, not
+// documents; sampling traffic belongs on the registered databases
+// themselves.
+func (sh *Shard) Search(query string, n int) ([]int, error) {
+	return nil, errors.New("cluster: shard is not a document database")
+}
+
+// Fetch implements core.Database.
+func (sh *Shard) Fetch(id int) (corpus.Document, error) {
+	return corpus.Document{}, errors.New("cluster: shard is not a document database")
+}
+
+// RankDBs implements netsearch.DBRanker: the shard-local half of a
+// scattered rank query. A shard with no learned models yet contributes an
+// empty partial ranking rather than an error — one cold shard must not
+// fail the whole federation's query. Invalid-argument errors are marked
+// so the front tier knows failover cannot help.
+func (sh *Shard) RankDBs(query, alg string, k int) ([]netsearch.RankedDB, error) {
+	ranked, err := sh.svc.Rank(query, alg, k)
+	if err != nil {
+		if errors.Is(err, service.ErrNoModels) {
+			return nil, nil
+		}
+		if errors.Is(err, service.ErrInvalid) {
+			return nil, errors.New(markInvalid + err.Error())
+		}
+		return nil, err
+	}
+	out := make([]netsearch.RankedDB, len(ranked))
+	for i, r := range ranked {
+		out[i] = netsearch.RankedDB{Name: r.Name, Score: r.Score}
+	}
+	return out, nil
+}
+
+// RegisterDB implements netsearch.Registrar.
+func (sh *Shard) RegisterDB(name, addr string) error {
+	err := sh.svc.Register(name, addr)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, service.ErrExists):
+		return errors.New(markExists + err.Error())
+	case errors.Is(err, service.ErrInvalid):
+		return errors.New(markInvalid + err.Error())
+	}
+	return err
+}
+
+// UnregisterDB implements netsearch.Registrar.
+func (sh *Shard) UnregisterDB(name string) error {
+	err := sh.svc.Unregister(name)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, service.ErrUnknownDatabase):
+		return errors.New(markUnknown + err.Error())
+	}
+	return err
+}
+
+var _ core.Database = (*Shard)(nil)
+var _ netsearch.DBRanker = (*Shard)(nil)
+var _ netsearch.Registrar = (*Shard)(nil)
+
+// classify re-attaches the service sentinel matching a marked wire error,
+// so the front tier can reuse the HTTP layer's statusFor-style mapping on
+// errors that crossed the fabric as text.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	// The markers arrive embedded in the client's transport wrapping.
+	switch {
+	case strings.Contains(msg, markInvalid):
+		return fmt.Errorf("%s: %w", strings.TrimPrefix(msg, markInvalid), service.ErrInvalid)
+	case strings.Contains(msg, markExists):
+		return fmt.Errorf("%s: %w", strings.TrimPrefix(msg, markExists), service.ErrExists)
+	case strings.Contains(msg, markUnknown):
+		return fmt.Errorf("%s: %w", strings.TrimPrefix(msg, markUnknown), service.ErrUnknownDatabase)
+	}
+	return err
+}

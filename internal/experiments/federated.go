@@ -151,7 +151,10 @@ func FederatedRetrieval(numDBs, docsEach, sampleDocs, nQueries, selectK int, see
 				perDB = append(perDB, list)
 				dbScores = append(dbScores, scores[dbi])
 			}
-			merged := selection.MergeWeighted(perDB, dbScores, 10)
+			merged, err := selection.MergeWeighted(perDB, dbScores, 10)
+		if err != nil {
+			return 0, err
+		}
 			rel := 0
 			for _, h := range merged {
 				if relevant(h.Doc/docsEach, h.Doc%docsEach) {

@@ -44,21 +44,49 @@ import (
 
 // request is one wire request. Trace carries the caller's trace ID on
 // every frame, so a server-side log line can be correlated with the HTTP
-// request (or sampling run) that caused it.
+// request (or sampling run) that caused it. The cluster ops reuse N as
+// the rank cutoff k and carry the database name/addr for registration.
 type request struct {
 	Op    string `json:"op"`
 	Query string `json:"query,omitempty"`
 	N     int    `json:"n,omitempty"`
 	ID    int    `json:"id,omitempty"`
+	Alg   string `json:"alg,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Addr  string `json:"addr,omitempty"`
 	Trace string `json:"trace,omitempty"`
 }
 
 // response is one wire response.
 type response struct {
-	IDs   []int            `json:"ids,omitempty"`
-	Doc   *corpus.Document `json:"doc,omitempty"`
-	Count *int             `json:"count,omitempty"`
-	Error string           `json:"error,omitempty"`
+	IDs    []int            `json:"ids,omitempty"`
+	Doc    *corpus.Document `json:"doc,omitempty"`
+	Count  *int             `json:"count,omitempty"`
+	Ranked []RankedDB       `json:"ranked,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// RankedDB is one database in a selection ranking carried over the wire —
+// the unit a cluster front tier scatters for and gathers.
+type RankedDB struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// DBRanker matches servables that can rank their registered databases for
+// a query — a selection service shard (see internal/cluster). The server
+// forwards "rank" requests to it when available.
+type DBRanker interface {
+	RankDBs(query, alg string, k int) ([]RankedDB, error)
+}
+
+// Registrar matches servables whose database registry can be administered
+// remotely; the server forwards "register"/"unregister" requests to it.
+// The cluster front tier uses this to place databases on their owning
+// shard replicas.
+type Registrar interface {
+	RegisterDB(name, addr string) error
+	UnregisterDB(name string) error
 }
 
 // hitCounter matches databases that report total hit counts (see
@@ -208,7 +236,7 @@ func (s *Server) handle(conn net.Conn) {
 // cardinality.
 func promSafe(op string) string {
 	switch op {
-	case "search", "fetch", "count":
+	case "search", "fetch", "count", "rank", "register", "unregister":
 		return op
 	}
 	return "other"
@@ -238,6 +266,34 @@ func (s *Server) dispatch(req request) response {
 			return response{Error: err.Error()}
 		}
 		return response{Count: &n}
+	case "rank":
+		dr, ok := s.db.(DBRanker)
+		if !ok {
+			return response{Error: "rank unsupported by this database"}
+		}
+		ranked, err := dr.RankDBs(req.Query, req.Alg, req.N)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{Ranked: ranked}
+	case "register":
+		rg, ok := s.db.(Registrar)
+		if !ok {
+			return response{Error: "register unsupported by this database"}
+		}
+		if err := rg.RegisterDB(req.Name, req.Addr); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{}
+	case "unregister":
+		rg, ok := s.db.(Registrar)
+		if !ok {
+			return response{Error: "unregister unsupported by this database"}
+		}
+		if err := rg.UnregisterDB(req.Name); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -412,7 +468,11 @@ func (c *Client) roundTrip(req request) (response, error) {
 	if c.closed {
 		return response{}, fmt.Errorf("netsearch: %s %s: client is closed", req.Op, c.addr)
 	}
-	req.Trace = c.trace
+	// A per-request trace (the cluster scatter path, where one client
+	// serves many concurrent queries) wins over the client-wide one.
+	if req.Trace == "" {
+		req.Trace = c.trace
+	}
 	policy := c.opts.Retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
@@ -506,6 +566,38 @@ func (c *Client) Fetch(id int) (corpus.Document, error) {
 		return corpus.Document{}, errors.New("netsearch: fetch returned no document")
 	}
 	return *resp.Doc, nil
+}
+
+// RankDBs asks a selection-service shard (a servable implementing
+// DBRanker) for its partial database ranking — the cluster scatter
+// operation. It is a pure read: retrying after a transport fault is as
+// safe as search/fetch/count. trace stamps this one request's wire frame
+// (one client serves many concurrent scatter queries, so the client-wide
+// SetTrace is the wrong scope); "" falls back to the client trace.
+// Server-side errors come back verbatim.
+func (c *Client) RankDBs(query, alg string, k int, trace string) ([]RankedDB, error) {
+	resp, err := c.roundTrip(request{Op: "rank", Query: query, Alg: alg, N: k, Trace: trace})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ranked, nil
+}
+
+// RegisterDB registers a database on a remote shard (a servable
+// implementing Registrar). Registration converges: replaying it yields a
+// server-reported "already registered" error and leaves the registry in
+// the same state, so transport-level retries cannot corrupt placement.
+func (c *Client) RegisterDB(name, addr string) error {
+	_, err := c.roundTrip(request{Op: "register", Name: name, Addr: addr})
+	return err
+}
+
+// UnregisterDB removes a database from a remote shard's registry; like
+// RegisterDB it converges under replay (a second delivery reports an
+// unknown database and changes nothing).
+func (c *Client) UnregisterDB(name string) error {
+	_, err := c.roundTrip(request{Op: "unregister", Name: name})
+	return err
 }
 
 // TotalHits asks the remote database for its total hit count for the

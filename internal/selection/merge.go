@@ -1,6 +1,9 @@
 package selection
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Result merging: after selection picks databases and each is searched,
 // their per-database result lists must be fused into one ranking. Scores
@@ -31,23 +34,37 @@ type MergedHit struct {
 // ranking, scaling each document's score by its database's selection
 // score: fused = docScore · (1 + dbScore) / 2 normalized by the maximum
 // database score, the heuristic used by CORI-based federated systems.
-// Ties break by (DB, Doc) for determinism. dbScores must be parallel to
-// results; k <= 0 returns everything.
-func MergeWeighted(results [][]DocScore, dbScores []float64, k int) []MergedHit {
+// When every selection score is nonpositive (some estimators emit
+// negative log-space goodness), the scores are min-max shifted into
+// [0, 1] before weighting, so relative database quality still steers the
+// merge instead of silently collapsing every weight to 1; all-equal
+// scores mean no preference and weight 1 everywhere. Ties break by
+// (DB, Doc) for determinism. dbScores must be parallel to results — a
+// mismatch is a programmer error and is reported, never swallowed as an
+// empty ranking. k <= 0 returns everything.
+func MergeWeighted(results [][]DocScore, dbScores []float64, k int) ([]MergedHit, error) {
 	if len(results) != len(dbScores) {
-		return nil
+		return nil, fmt.Errorf("selection: MergeWeighted: %d result lists but %d database scores", len(results), len(dbScores))
 	}
-	maxDB := 0.0
-	for _, s := range dbScores {
-		if s > maxDB {
+	maxDB, minDB := 0.0, 0.0
+	for i, s := range dbScores {
+		if i == 0 || s > maxDB {
 			maxDB = s
+		}
+		if i == 0 || s < minDB {
+			minDB = s
 		}
 	}
 	var merged []MergedHit
 	for db, list := range results {
 		w := 1.0
-		if maxDB > 0 {
+		switch {
+		case maxDB > 0:
 			w = (1 + dbScores[db]/maxDB) / 2
+		case maxDB > minDB:
+			// All scores nonpositive: shift into [0, 1] by range so the
+			// best database still gets weight 1 and the worst 1/2.
+			w = (1 + (dbScores[db]-minDB)/(maxDB-minDB)) / 2
 		}
 		for _, h := range list {
 			merged = append(merged, MergedHit{DB: db, Doc: h.Doc, Score: h.Score * w})
@@ -65,7 +82,7 @@ func MergeWeighted(results [][]DocScore, dbScores []float64, k int) []MergedHit 
 	if k > 0 && k < len(merged) {
 		merged = merged[:k]
 	}
-	return merged
+	return merged, nil
 }
 
 // MergeRoundRobin fuses result lists by interleaving them in rank order —

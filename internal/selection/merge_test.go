@@ -12,7 +12,10 @@ func TestMergeWeightedPrefersGoodDatabases(t *testing.T) {
 		{{Doc: 10, Score: 0.5}},
 		{{Doc: 20, Score: 0.5}},
 	}
-	merged := MergeWeighted(results, []float64{0.4, 0.8}, 0)
+	merged, err := MergeWeighted(results, []float64{0.4, 0.8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(merged) != 2 {
 		t.Fatalf("merged %d hits", len(merged))
 	}
@@ -29,9 +32,36 @@ func TestMergeWeightedTopK(t *testing.T) {
 		{{Doc: 1, Score: 0.9}, {Doc: 2, Score: 0.8}},
 		{{Doc: 3, Score: 0.7}},
 	}
-	merged := MergeWeighted(results, []float64{1, 1}, 2)
+	merged, err := MergeWeighted(results, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(merged) != 2 {
 		t.Errorf("k=2 returned %d", len(merged))
+	}
+}
+
+func TestMergeWeightedKLargerThanTotal(t *testing.T) {
+	results := [][]DocScore{
+		{{Doc: 1, Score: 0.9}},
+		{{Doc: 3, Score: 0.7}},
+	}
+	merged, err := MergeWeighted(results, []float64{1, 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Errorf("k=50 over 2 hits returned %d", len(merged))
+	}
+}
+
+func TestMergeWeightedEmptyInputs(t *testing.T) {
+	if merged, err := MergeWeighted(nil, nil, 5); err != nil || len(merged) != 0 {
+		t.Errorf("nil inputs: merged=%v err=%v", merged, err)
+	}
+	// Present-but-empty lists merge to nothing, without error.
+	if merged, err := MergeWeighted([][]DocScore{{}, {}}, []float64{1, 2}, 0); err != nil || len(merged) != 0 {
+		t.Errorf("empty lists: merged=%v err=%v", merged, err)
 	}
 }
 
@@ -40,8 +70,11 @@ func TestMergeWeightedDeterministicTies(t *testing.T) {
 		{{Doc: 5, Score: 0.5}, {Doc: 3, Score: 0.5}},
 		{{Doc: 1, Score: 0.5}},
 	}
-	a := MergeWeighted(results, []float64{1, 1}, 0)
-	b := MergeWeighted(results, []float64{1, 1}, 0)
+	a, errA := MergeWeighted(results, []float64{1, 1}, 0)
+	b, errB := MergeWeighted(results, []float64{1, 1}, 0)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if !reflect.DeepEqual(a, b) {
 		t.Error("tie ordering unstable")
 	}
@@ -52,8 +85,14 @@ func TestMergeWeightedDeterministicTies(t *testing.T) {
 }
 
 func TestMergeWeightedMismatchedInputs(t *testing.T) {
-	if got := MergeWeighted([][]DocScore{{}}, []float64{1, 2}, 0); got != nil {
-		t.Errorf("mismatched inputs returned %v", got)
+	// A length mismatch is a programmer error: it must be reported, not
+	// read as "no hits".
+	got, err := MergeWeighted([][]DocScore{{}}, []float64{1, 2}, 0)
+	if err == nil {
+		t.Fatalf("mismatched inputs returned %v without error", got)
+	}
+	if got != nil {
+		t.Errorf("mismatched inputs returned hits %v alongside the error", got)
 	}
 }
 
@@ -63,9 +102,60 @@ func TestMergeWeightedZeroDBScores(t *testing.T) {
 		{{Doc: 1, Score: 0.3}},
 		{{Doc: 2, Score: 0.9}},
 	}
-	merged := MergeWeighted(results, []float64{0, 0}, 0)
+	merged, err := MergeWeighted(results, []float64{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if merged[0].Doc != 2 {
 		t.Errorf("zero-score merge order wrong: %+v", merged)
+	}
+}
+
+func TestMergeWeightedAllNonpositiveDBScores(t *testing.T) {
+	// Negative (log-space) selection scores must still prefer the better
+	// database: before the min-max shift, maxDB stayed 0 and every weight
+	// silently became 1.
+	results := [][]DocScore{
+		{{Doc: 10, Score: 0.5}},
+		{{Doc: 20, Score: 0.5}},
+	}
+	merged, err := MergeWeighted(results, []float64{-4, -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged[0].DB != 1 || merged[0].Doc != 20 {
+		t.Errorf("best hit = %+v, want db 1 doc 20 (higher selection score)", merged[0])
+	}
+	if merged[0].Score <= merged[1].Score {
+		t.Error("nonpositive-score merge did not separate the databases")
+	}
+	// The best database keeps its raw document score (weight 1).
+	if merged[0].Score != 0.5 {
+		t.Errorf("best database weight = %v, want 1 (score 0.5)", merged[0].Score/0.5)
+	}
+}
+
+func TestMergeRoundRobinKLargerThanTotal(t *testing.T) {
+	results := [][]DocScore{{{Doc: 1}}, {{Doc: 2}}}
+	if got := MergeRoundRobin(results, 99); len(got) != 2 {
+		t.Errorf("k=99 over 2 hits returned %d", len(got))
+	}
+}
+
+func TestMergeRoundRobinDeterministic(t *testing.T) {
+	results := [][]DocScore{
+		{{Doc: 5, Score: 0.5}, {Doc: 3, Score: 0.4}},
+		{{Doc: 1, Score: 0.9}},
+		{},
+	}
+	a := MergeRoundRobin(results, 0)
+	b := MergeRoundRobin(results, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("round-robin merge order unstable")
+	}
+	// Empty lists are skipped, not fused as zero hits.
+	if len(a) != 3 {
+		t.Errorf("merged %d hits, want 3", len(a))
 	}
 }
 

@@ -146,7 +146,12 @@ func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
 	// (computed and cached), or "bypass" (cache disabled or bad request).
 	w.Header().Set("X-Cache", cacheStatus)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		// statusFor keeps blame where it belongs: only ErrInvalid (bad
+		// algorithm, unusable query) is the client's 400. A snapshot
+		// compile failure or an unready federation is the service's
+		// problem and must surface as 5xx — the cluster front tier's
+		// failover logic keys off that distinction.
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ranked)
@@ -167,6 +172,13 @@ func (s *Service) handleDatabases(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Addr == "" {
 			writeErr(w, http.StatusBadRequest, errors.New("addr is required"))
+			return
+		}
+		// An empty (or "/"-only) name would register a database that
+		// /databases/{name} can never route to — it could never be
+		// sampled or unregistered over HTTP. Reject it up front.
+		if err := ValidateName(req.Name); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		if err := s.Register(req.Name, req.Addr); err != nil {
@@ -236,15 +248,18 @@ func (s *Service) handleDatabase(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusFor distinguishes the caller's mistakes (400), unknown names
-// (404), and genuine upstream failures (502). Before ErrInvalid existed,
-// every non-404 error — including an unknown metric name — was blamed on
-// the remote database with a 502.
+// (404), a federation that has not learned any models yet (503), and
+// genuine upstream failures (502). Before ErrInvalid existed, every
+// non-404 error — including an unknown metric name — was blamed on the
+// remote database with a 502.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownDatabase):
 		return http.StatusNotFound
 	case errors.Is(err, ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrNoModels):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadGateway
 	}

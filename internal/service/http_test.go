@@ -159,6 +159,23 @@ func TestHTTPRegisterAndDelete(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("register without addr: status %d", resp.StatusCode)
 	}
+	// Unroutable names rejected up front: an empty or "/"-only name would
+	// register an entry that /databases/{name} can never address again
+	// (empty path segment routes to 404), so it could never be sampled or
+	// unregistered over HTTP.
+	for _, bad := range []string{"", "/", "///"} {
+		resp = postJSON(t, ts.URL+"/databases", map[string]string{"name": bad, "addr": "127.0.0.1:1"}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("register name %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	var statuses []DBStatus
+	getJSON(t, ts.URL+"/databases", &statuses)
+	for _, st := range statuses {
+		if st.Name == "" || st.Name == "/" || st.Name == "///" {
+			t.Errorf("unroutable name %q reached the registry", st.Name)
+		}
+	}
 	// Delete it.
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/databases/newdb", nil)
 	if err != nil {
@@ -229,8 +246,11 @@ func TestHTTPErrors(t *testing.T) {
 		path   string
 		want   int
 	}{
-		{"GET", "/rank?q=", http.StatusBadRequest},      // empty query
-		{"GET", "/rank?q=apple", http.StatusBadRequest}, // no models yet
+		{"GET", "/rank?q=", http.StatusBadRequest}, // empty query: the client's fault
+		// An unready federation is the service's state, not the client's
+		// mistake: 503, never 400 (the cluster front tier relies on rank
+		// 4xx meaning "retrying elsewhere is pointless").
+		{"GET", "/rank?q=apple", http.StatusServiceUnavailable}, // no models yet
 		{"POST", "/databases/ghost/sample", http.StatusNotFound},
 		{"GET", "/databases/ghost/summary", http.StatusNotFound},
 		{"GET", "/databases/ghost/explode", http.StatusNotFound},

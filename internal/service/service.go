@@ -44,6 +44,29 @@ var ErrInvalid = errors.New("invalid argument")
 // always attempts the database and closes the circuit on success.
 var ErrCircuitOpen = errors.New("service: circuit open")
 
+// ErrNoModels is returned by Rank when no registered database has a
+// learned model yet. It is a service-state condition, not a client
+// mistake: the HTTP layer maps it to 503, and a cluster shard reports an
+// empty partial ranking instead of failing the whole scatter.
+var ErrNoModels = errors.New("service: no databases have learned models yet")
+
+// ErrExists marks a registration of a name that is already registered.
+// The cluster front tier treats it as success so that replica-fan-out
+// registration is idempotent and a retry can heal a partial failure.
+var ErrExists = errors.New("already registered")
+
+// ValidateName rejects database names that the HTTP API could never
+// route back to: an empty name, or one made only of "/" (its path
+// segment escapes to an empty string, so /databases/{name} can never
+// address it for sampling or unregistration). The error wraps ErrInvalid
+// so the HTTP layer answers 400.
+func ValidateName(name string) error {
+	if name == "" || strings.Trim(name, "/") == "" {
+		return fmt.Errorf("service: unroutable database name %q: %w", name, ErrInvalid)
+	}
+	return nil
+}
+
 // DefaultTripThreshold is the number of consecutive sampling failures
 // after which a database's circuit breaker opens.
 const DefaultTripThreshold = 3
@@ -265,8 +288,8 @@ func (s *Service) SetTripThreshold(n int) {
 // connection is established lazily on first sampling. If a persisted model
 // exists for the name it is loaded immediately.
 func (s *Service) Register(name, addr string) error {
-	if name == "" {
-		return errors.New("service: empty database name")
+	if err := ValidateName(name); err != nil {
+		return err
 	}
 	// Load any persisted model before taking the registry lock: the store
 	// read is disk I/O, which must never run under mu (a duplicate
@@ -276,7 +299,7 @@ func (s *Service) Register(name, addr string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
-		return fmt.Errorf("service: database %q already registered", name)
+		return fmt.Errorf("service: database %q %w", name, ErrExists)
 	}
 	s.entries[name] = e
 	if e.model != nil {
@@ -298,8 +321,8 @@ func newEntry(name, addr string) *entry {
 // RegisterLocal adds an in-process database (used by tests, examples, and
 // embedded deployments).
 func (s *Service) RegisterLocal(name string, db core.Database) error {
-	if name == "" {
-		return errors.New("service: empty database name")
+	if err := ValidateName(name); err != nil {
+		return err
 	}
 	if db == nil {
 		return errors.New("service: nil database")
@@ -310,7 +333,7 @@ func (s *Service) RegisterLocal(name string, db core.Database) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
-		return fmt.Errorf("service: database %q already registered", name)
+		return fmt.Errorf("service: database %q %w", name, ErrExists)
 	}
 	s.entries[name] = e
 	if e.model != nil {
@@ -737,7 +760,7 @@ func (s *Service) rank(query string, algName string, k int) ([]RankedDB, string,
 	}
 	snap := s.snapshot()
 	if snap.compiled.NumDBs() == 0 {
-		return nil, "bypass", errors.New("service: no databases have learned models yet")
+		return nil, "bypass", ErrNoModels
 	}
 
 	cache := s.cache.Load()
