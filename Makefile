@@ -11,22 +11,32 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Tier-1 benchmark set for the regression gate (see bench-check).
-BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile|RepolintFullRepo|ScatterGather
+BENCH_PATTERN := SamplerThroughput|SuiteBaselines|Rank100DBs|TokenizeASCII|SearchScored|SnapshotLoad|IncrementalRecompile|RepolintFullRepo|ScatterGather|BatchRank
 # Benchmarks that must be present in every recording; benchdiff record
 # fails otherwise, so a renamed/filtered-out rank benchmark cannot
 # silently drop out of the regression gate.
-BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile,RepolintFullRepo,ScatterGather
+BENCH_REQUIRE := Rank100DBs,SnapshotLoad,IncrementalRecompile,RepolintFullRepo,ScatterGather,BatchRank
 # Repeated runs per benchmark; benchdiff keeps the median, which is what
 # makes a 25% threshold usable on noisy shared CI machines.
 BENCH_COUNT ?= 5
 BENCH_OUT ?= BENCH_current.json
 
 # Ratcheted statement-coverage floor over ./internal/... — raise it as
-# coverage grows; never lower it to admit a regression. Current: 88.5%.
-COVER_FLOOR ?= 86.0
+# coverage grows; never lower it to admit a regression. Current: 86.5%.
+COVER_FLOOR ?= 86.2
+
+# Load-smoke workload size. CI keeps it short; quadruple locally when
+# refreshing the committed baseline on a quiet machine.
+LOAD_REQUESTS ?= 200
+# The two load reports the gate diffs: sequential /rank against a
+# single-process service, and POST /rank/batch against a 2-shard front.
+# Distinct -label values keep their metric keys apart in one summary.
+LOAD_REPORTS := LOADGEN_single.json LOADGEN_batch.json
+LOAD_REQUIRE := loadgen/single/qps,loadgen/single/p99_us,loadgen/batch/qps,loadgen/batch/p99_us
 
 .PHONY: all build test race bench bench-all bench-check bench-baseline \
-	cover vet lint lint-sarif chaos fuzz-smoke snapshot-fuzz ci clean
+	cover vet lint lint-sarif chaos fuzz-smoke snapshot-fuzz \
+	load-smoke load-gate ci clean
 
 all: build test
 
@@ -61,9 +71,31 @@ bench-check:
 
 # Refresh the committed baseline. Run on a quiet machine and commit the
 # resulting BENCH_baseline.json together with the change that shifted it.
-bench-baseline:
-	$(GO) test . -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) \
-		| $(GO) run ./cmd/benchdiff record -o BENCH_baseline.json -require $(BENCH_REQUIRE)
+# The baseline carries both benchmark medians and the loadgen serving
+# metrics (QPS, p99), so one file anchors both gates.
+bench-baseline: load-smoke
+	$(GO) test . -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) | tee bench.txt
+	$(GO) run ./cmd/benchdiff record -o BENCH_baseline.json -require $(BENCH_REQUIRE) \
+		$(foreach r,$(LOAD_REPORTS),-load $(r)) bench.txt
+
+# Reproducible load smoke: replay the seeded Zipf workload against two
+# spawned loopback deployments (no external service, models synthetic
+# and warm) and write client-side QPS + exact latency quantiles. Any
+# request-level failure exits nonzero, so the smoke is a gate by itself.
+load-smoke:
+	$(GO) run ./cmd/loadgen -spawn -requests $(LOAD_REQUESTS) -workers 8 \
+		-label single -report LOADGEN_single.json
+	$(GO) run ./cmd/loadgen -spawn -spawn-shards 2 -batch 8 -workers 8 \
+		-requests $(LOAD_REQUESTS) -label batch -report LOADGEN_batch.json
+
+# Serving-regression gate: fold the load reports into a benchdiff
+# summary and diff its metrics against the committed baseline — QPS
+# dropping or p99 growing by more than 25% fails, direction-aware,
+# exactly like ns/op for benchmarks.
+load-gate:
+	$(GO) run ./cmd/benchdiff record -o LOADGEN_summary.json \
+		-require $(LOAD_REQUIRE) $(foreach r,$(LOAD_REPORTS),-load $(r))
+	$(GO) run ./cmd/benchdiff compare -threshold 0.25 BENCH_baseline.json LOADGEN_summary.json
 
 # Statement coverage over internal/... with a ratcheted floor: the per-
 # package table comes from go test itself, the total is gated against
@@ -101,7 +133,7 @@ lint-sarif:
 # circuit breakers, a shard killed mid-query — always under the race
 # detector. Every fault pattern is seeded, so failures replay.
 chaos:
-	$(GO) test -race -run 'Chaos' ./internal/netsearch ./internal/service ./internal/faulty ./internal/cluster
+	$(GO) test -race -run 'Chaos' ./internal/netsearch ./internal/service ./internal/faulty ./internal/cluster ./internal/loadgen
 
 # Short-budget fuzz pass over the parser-shaped attack surfaces:
 # tokenization, stemming, and the two model readers. Each target gets
@@ -119,7 +151,7 @@ snapshot-fuzz:
 	$(GO) test ./internal/selection -run xxx -fuzz '^FuzzDecodeSnapshot$$' -fuzztime=$(FUZZTIME)
 
 # The full local gate: everything CI runs, in the same order.
-ci: build vet lint test race chaos fuzz-smoke snapshot-fuzz cover bench-check
+ci: build vet lint test race chaos fuzz-smoke snapshot-fuzz cover bench-check load-smoke load-gate
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,14 @@
 //
 // Without either flag, selectd is the unchanged single-process service.
 //
+// Admission control (DESIGN.md §14) is off by default and flag-tunable in
+// every mode: -max-inflight caps concurrent rank requests (shed with 429 +
+// Retry-After past it), -degrade-at/-degrade-k serve smaller rankings
+// under load instead of shedding, and -max-p99 sheds while the recent
+// windowed p99 latency exceeds the bound:
+//
+//	selectd -max-inflight 64 -degrade-at 48 -degrade-k 10 -max-p99 250ms
+//
 // With -snapshot-dir, the compiled selection snapshot is persisted in a
 // checksummed binary segment and adopted on restart (a warm start: the
 // first /rank serves without recompiling the federation); -snapshot-persist
@@ -50,6 +58,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -74,6 +83,11 @@ func main() {
 	shards := flag.String("shards", "", "run as a stateless front tier over this shard topology (slots comma-separated, replicas |-separated)")
 	join := flag.String("join", "", "also serve this instance as a cluster shard on this netsearch address")
 	ringSeed := flag.Uint64("ring-seed", 0, "placement ring seed (front tier; must match across fronts of one cluster)")
+	maxInflight := flag.Int("max-inflight", 0, "admission: max concurrent rank requests before shedding with 429 (0 = unbounded)")
+	degradeAt := flag.Int("degrade-at", 0, "admission: in-flight depth at which rankings degrade to -degrade-k rows (0 = never)")
+	degradeK := flag.Int("degrade-k", 0, "admission: rank cutoff served while degraded (default 10)")
+	maxP99 := flag.Duration("max-p99", 0, "admission: shed while the windowed p99 rank latency exceeds this (0 = off)")
+	retryAfter := flag.Duration("retry-after", 0, "admission: Retry-After hint on shed responses (default 1s)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -90,6 +104,17 @@ func main() {
 	}
 	reg := telemetry.NewRegistry()
 	logger := telemetry.NewLogger(os.Stderr, level, true)
+	adm := admission.Config{
+		MaxInFlight: *maxInflight,
+		DegradeAt:   *degradeAt,
+		DegradeK:    *degradeK,
+		MaxP99:      *maxP99,
+		RetryAfter:  *retryAfter,
+	}
+	if adm.Enabled() {
+		fmt.Printf("admission control on: max-inflight=%d degrade-at=%d max-p99=%s\n",
+			*maxInflight, *degradeAt, *maxP99)
+	}
 
 	// Front-tier mode: no service, no store — just ring geometry, shard
 	// clients, and transient health. Everything below is shard/single-
@@ -106,9 +131,10 @@ func main() {
 				Metrics: reg,
 				Logger:  logger,
 			},
-			Seed:    *ringSeed,
-			Metrics: reg,
-			Logger:  logger,
+			Seed:      *ringSeed,
+			Metrics:   reg,
+			Logger:    logger,
+			Admission: adm,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -137,6 +163,7 @@ func main() {
 	defer svc.Close()
 	svc.SetMetrics(reg)
 	svc.SetLogger(logger)
+	svc.SetAdmission(adm)
 	var snaps *store.SnapshotStore
 	if *snapDir != "" {
 		var err error

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/netsearch"
 	"repro/internal/parallel"
 	"repro/internal/selection"
@@ -39,6 +40,11 @@ type Options struct {
 	// Logger receives one line per failover and breaker transition. nil
 	// discards.
 	Logger *slog.Logger
+	// Admission configures load shedding and graceful degradation on the
+	// front's serving surface (GET /rank, POST /rank/batch). The zero
+	// value disables admission control entirely — the default, so a front
+	// upgraded across this feature behaves exactly as before.
+	Admission admission.Config
 }
 
 // replica is one shard process inside a slot, with the front's local
@@ -83,6 +89,7 @@ type Front struct {
 	reg       *telemetry.Registry
 	logger    *slog.Logger
 	traces    *telemetry.TraceIDs
+	gate      *admission.Gate // nil unless Options.Admission enables it
 }
 
 // NewFront builds a front tier over the given slot topology: slots[i] is
@@ -112,6 +119,7 @@ func NewFront(slots [][]string, opts Options) (*Front, error) {
 		reg:       opts.Metrics,
 		logger:    logger,
 		traces:    telemetry.NewTraceIDs("req"),
+		gate:      admission.New(opts.Admission, opts.Metrics, "cluster"),
 	}
 	if f.netOpts.Metrics == nil {
 		f.netOpts.Metrics = opts.Metrics
@@ -235,12 +243,128 @@ func (f *Front) Rank(query, alg string, k int, trace string) ([]netsearch.Ranked
 	return out, nil
 }
 
-// rankSlot answers one slot's share of a scattered query, failing over
-// across the slot's replicas: healthy ones first in configured order,
-// then open-breaker ones as last-resort half-open probes. A marked
-// invalid-argument error aborts immediately — every replica would refuse
-// the same way, so failover cannot help and the client gets its 400.
+// RankBatch scatters a whole batch of queries to every slot in one wire
+// frame per slot, then fuses each query's partial rankings exactly as
+// Rank does — same uniform weights, same tie-break, so a batched query's
+// ranking is bit-identical to ranking it alone. The fan-out cost (slot
+// RPCs, failover bookkeeping, merge scratch) is paid once per batch
+// instead of once per query. Per-query problems (no index terms) ride in
+// the matching item's Error; a cold federation is a whole-batch
+// ErrNoModels, mirroring the single-query path.
+func (f *Front) RankBatch(queries []string, alg string, k int, trace string) ([]netsearch.RankedBatch, error) {
+	defer f.reg.Timer("cluster_scatter_batch_seconds")()
+	partials, err := parallel.Map(len(f.reps), f.reps, func(slot int, _ []*replica) ([]netsearch.RankedBatch, error) {
+		return f.rankSlotBatch(slot, queries, alg, k, trace)
+	})
+	if err != nil {
+		f.reg.Counter("cluster_scatter_errors_total").Inc()
+		return nil, err
+	}
+	out := make([]netsearch.RankedBatch, len(queries))
+	// Merge scratch recycled across the batch: per-slot DocScore lists, the
+	// uniform weights, and the fused-hit buffer (MergeWeightedInto).
+	lists := make([][]selection.DocScore, len(partials))
+	weights := make([]float64, len(partials))
+	for slot := range partials {
+		weights[slot] = 1
+	}
+	var fused []selection.MergedHit
+	grandTotal := 0
+	for q := range queries {
+		itemErr := ""
+		total := 0
+		for slot, batch := range partials {
+			it := batch[q]
+			if it.Error != "" {
+				// Deterministic per-query refusal (every slot tokenizes the
+				// same way); any slot's report stands for all of them.
+				itemErr = it.Error
+			}
+			list := lists[slot][:0]
+			for i, r := range it.Ranked {
+				list = append(list, selection.DocScore{Doc: i, Score: r.Score})
+			}
+			lists[slot] = list
+			total += len(it.Ranked)
+		}
+		grandTotal += total
+		if itemErr != "" {
+			out[q].Error = itemErr
+			continue
+		}
+		if total == 0 {
+			out[q].Error = fmt.Sprintf("cluster: %v", service.ErrNoModels)
+			continue
+		}
+		fused, err = selection.MergeWeightedInto(fused[:0], lists, weights, k)
+		if err != nil {
+			// Unreachable by construction (lists and weights are parallel);
+			// surfaced rather than swallowed all the same.
+			return nil, fmt.Errorf("cluster: fuse: %w", err)
+		}
+		ranked := make([]netsearch.RankedDB, len(fused))
+		for i, h := range fused {
+			ranked[i] = netsearch.RankedDB{Name: partials[h.DB][q].Ranked[h.Doc].Name, Score: h.Score}
+		}
+		out[q].Ranked = ranked
+	}
+	if grandTotal == 0 {
+		// Every query found nothing anywhere and none carried its own
+		// error: the federation has no models — the whole batch fails the
+		// way a single cold-federation Rank does (503, not 200-with-errors).
+		allItemErrs := true
+		for _, it := range out {
+			if it.Error == "" || !strings.Contains(it.Error, service.ErrNoModels.Error()) {
+				allItemErrs = false
+				break
+			}
+		}
+		if allItemErrs && len(out) > 0 {
+			return nil, fmt.Errorf("cluster: %w", service.ErrNoModels)
+		}
+	}
+	return out, nil
+}
+
+// rankSlot answers one slot's share of a scattered query.
 func (f *Front) rankSlot(slot int, query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
+	var ranked []netsearch.RankedDB
+	err := f.callSlot(slot, func(c *netsearch.Client) error {
+		var err error
+		ranked, err = c.RankDBs(query, alg, k, trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ranked, nil
+}
+
+// rankSlotBatch answers one slot's share of a scattered batch: the whole
+// batch travels in one wire frame and the shard ranks it against one
+// snapshot with one scratch, so failover (when it happens) retries the
+// batch as a unit and never splits it across replicas with divergent
+// model states.
+func (f *Front) rankSlotBatch(slot int, queries []string, alg string, k int, trace string) ([]netsearch.RankedBatch, error) {
+	var batch []netsearch.RankedBatch
+	err := f.callSlot(slot, func(c *netsearch.Client) error {
+		var err error
+		batch, err = c.RankDBsBatch(queries, alg, k, trace)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+// callSlot runs one RPC against a slot, failing over across the slot's
+// replicas: healthy ones first in configured order, then open-breaker
+// ones as last-resort half-open probes. op runs once per attempted
+// replica and captures its own result. A marked invalid-argument error
+// aborts immediately — every replica would refuse the same way, so
+// failover cannot help and the client gets its 400.
+func (f *Front) callSlot(slot int, op func(c *netsearch.Client) error) error {
 	reps := f.reps[slot]
 	ordered := make([]*replica, 0, len(reps))
 	var open []*replica
@@ -262,31 +386,30 @@ func (f *Front) rankSlot(slot int, query, alg string, k int, trace string) ([]ne
 		if i > 0 {
 			f.countFailover(slot, fmt.Sprint(lastErr))
 		}
-		ranked, err := f.rankReplica(r, query, alg, k, trace)
+		err := f.callReplica(r, op)
 		if err == nil {
-			return ranked, nil
+			return nil
 		}
 		if classified := classify(err); classified != err {
 			// Marked by the shard as the client's mistake: deterministic
 			// across replicas, so do not burn failovers or health on it.
-			return nil, classified
+			return classified
 		}
 		f.recordFailure(r, err)
 		lastErr = err
 	}
-	return nil, fmt.Errorf("cluster: slot %d: all %d replicas failed: %w", slot, len(ordered), lastErr)
+	return fmt.Errorf("cluster: slot %d: all %d replicas failed: %w", slot, len(ordered), lastErr)
 }
 
-// rankReplica performs the RPC against one replica, dialing (or
+// callReplica performs one RPC against one replica, dialing (or
 // redialing a broken connection) as needed and updating breaker state.
-func (f *Front) rankReplica(r *replica, query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
+func (f *Front) callReplica(r *replica, op func(c *netsearch.Client) error) error {
 	c, err := f.connect(r)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ranked, err := c.RankDBs(query, alg, k, trace)
-	if err != nil {
-		return nil, err
+	if err := op(c); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	r.fails = 0
@@ -296,7 +419,7 @@ func (f *Front) rankReplica(r *replica, query, alg string, k int, trace string) 
 	if wasOpen {
 		f.logger.Info("cluster breaker closed", "slot", r.slot, "replica", r.addr)
 	}
-	return ranked, nil
+	return nil
 }
 
 // connect returns the replica's client, dialing on demand and replacing

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/netsearch"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -17,6 +18,8 @@ import (
 // single-process selectd endpoints it stands in for:
 //
 //	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB (scatter-gathered)
+//	POST   /rank/batch                     {"queries":[...],"alg":"cori","k":5}
+//	                                       -> {"results":[{"ranked":[...]}...]}
 //	POST   /databases                      {"name":"x","addr":"host:port"}
 //	                                       (routed to the owning slot's replicas)
 //	DELETE /databases/{name}               (routed likewise)
@@ -35,6 +38,7 @@ func (f *Front) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "front", "slots": f.ring.Slots()})
 	})
 	mux.HandleFunc("/rank", f.handleRank)
+	mux.HandleFunc("/rank/batch", f.handleRankBatch)
 	mux.HandleFunc("/databases", f.handleDatabases)
 	mux.HandleFunc("/databases/", f.handleDatabase)
 	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
@@ -129,19 +133,92 @@ func statusFor(err error) int {
 	}
 }
 
+// shed answers a load-shed request: 429 with the gate's Retry-After hint,
+// the same overload contract the single-process service's surface keeps.
+func shed(w http.ResponseWriter, retryAfterSeconds int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusTooManyRequests,
+		map[string]string{"error": "service overloaded, retry later"})
+}
+
 func (f *Front) handleRank(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	ticket, ok := f.gate.Admit()
+	if !ok {
+		shed(w, f.gate.RetryAfterSeconds())
+		return
+	}
+	defer ticket.Release()
 	q := r.URL.Query()
 	k, _ := strconv.Atoi(q.Get("k"))
+	if clamped := ticket.ClampK(k); clamped != k {
+		k = clamped
+		w.Header().Set("X-Degraded-K", strconv.Itoa(k))
+	}
 	ranked, err := f.Rank(q.Get("q"), q.Get("alg"), k, r.Header.Get("X-Trace-Id"))
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ranked)
+}
+
+// batchRankRequest and batchRankResponse mirror the single-process
+// service's POST /rank/batch wire shapes, so one client speaks to both
+// surfaces interchangeably.
+type batchRankRequest struct {
+	Queries []string `json:"queries"`
+	Alg     string   `json:"alg,omitempty"`
+	K       int      `json:"k,omitempty"`
+}
+
+type batchRankResponse struct {
+	Results  []netsearch.RankedBatch `json:"results"`
+	Degraded bool                    `json:"degraded,omitempty"`
+}
+
+func (f *Front) handleRankBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req batchRankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) > service.MaxBatchQueries {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the %d-query limit: %w",
+				len(req.Queries), service.MaxBatchQueries, service.ErrInvalid))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("cluster: empty batch: %w", service.ErrInvalid))
+		return
+	}
+	// One batch holds one admission slot, as on the shards: the in-flight
+	// unit is the request — what bounds the scatter fan-out — not the query.
+	ticket, ok := f.gate.Admit()
+	if !ok {
+		shed(w, f.gate.RetryAfterSeconds())
+		return
+	}
+	defer ticket.Release()
+	k := ticket.ClampK(req.K)
+	if k != req.K {
+		w.Header().Set("X-Degraded-K", strconv.Itoa(k))
+	}
+	items, err := f.RankBatch(req.Queries, req.Alg, k, r.Header.Get("X-Trace-Id"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchRankResponse{Results: items, Degraded: k != req.K})
 }
 
 func (f *Front) handleDatabases(w http.ResponseWriter, r *http.Request) {

@@ -81,6 +81,37 @@ func (sh *Shard) RankDBs(query, alg string, k int) ([]netsearch.RankedDB, error)
 	return out, nil
 }
 
+// RankDBsBatch implements netsearch.BatchDBRanker: the shard-local half
+// of a scattered batch. The cold-shard convention carries over from
+// RankDBs — a shard with no models answers every query with an empty
+// partial rather than failing the batch. Per-query problems ride in each
+// item's Error (already plain text, no marker needed: the front passes
+// them through to the matching item, never fails over on them).
+func (sh *Shard) RankDBsBatch(queries []string, alg string, k int) ([]netsearch.RankedBatch, error) {
+	items, err := sh.svc.RankBatch(queries, alg, k)
+	if err != nil {
+		if errors.Is(err, service.ErrNoModels) {
+			return make([]netsearch.RankedBatch, len(queries)), nil
+		}
+		if errors.Is(err, service.ErrInvalid) {
+			return nil, errors.New(markInvalid + err.Error())
+		}
+		return nil, err
+	}
+	out := make([]netsearch.RankedBatch, len(items))
+	for i, it := range items {
+		out[i].Error = it.Error
+		if it.Ranked == nil {
+			continue
+		}
+		out[i].Ranked = make([]netsearch.RankedDB, len(it.Ranked))
+		for j, r := range it.Ranked {
+			out[i].Ranked[j] = netsearch.RankedDB{Name: r.Name, Score: r.Score}
+		}
+	}
+	return out, nil
+}
+
 // RegisterDB implements netsearch.Registrar.
 func (sh *Shard) RegisterDB(name, addr string) error {
 	err := sh.svc.Register(name, addr)
@@ -109,6 +140,7 @@ func (sh *Shard) UnregisterDB(name string) error {
 
 var _ core.Database = (*Shard)(nil)
 var _ netsearch.DBRanker = (*Shard)(nil)
+var _ netsearch.BatchDBRanker = (*Shard)(nil)
 var _ netsearch.Registrar = (*Shard)(nil)
 
 // classify re-attaches the service sentinel matching a marked wire error,

@@ -1,0 +1,129 @@
+package loadgen
+
+// Chaos ride-along for the serving harness (run with `make chaos`,
+// always under -race in CI): loadgen replays its seeded batch workload
+// against a cluster front while a shard replica is killed mid-run. The
+// front must absorb the kill — failover to the surviving replica, no
+// failed queries surfacing to the client — and the client-side p99 must
+// stay bounded (failover costs a redial, not a hang). The test lives in
+// this package rather than internal/cluster because loadgen imports
+// cluster; the scenario is the same fabric the cluster chaos suite
+// exercises, driven through real HTTP under load.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/netsearch"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+func TestChaosLoadgenShardKillUnderLoad(t *testing.T) {
+	const (
+		nSlots, nReplicas = 2, 2
+		nDBs              = 24
+		requests          = 30
+		batch             = 4
+		killAt            = requests / 3
+	)
+	models, words := SyntheticModels(nDBs, 0xbe7c)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, nDBs)
+	for i, m := range models {
+		names[i] = fmt.Sprintf("db-%03d", i)
+		if err := st.Put(names[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two slots, two replicas each. Replicas of a slot register the same
+	// databases warm from the shared store, so their models — and hence
+	// their partial rankings — are byte-identical and failover is
+	// invisible to the fused result.
+	ring := cluster.NewRing(nSlots, 0, 0)
+	servers := make([][]*netsearch.Server, nSlots)
+	addrs := make([][]string, nSlots)
+	for s := 0; s < nSlots; s++ {
+		for r := 0; r < nReplicas; r++ {
+			svc := service.New(analysis.Database(), st)
+			t.Cleanup(func() { svc.Close() })
+			srv, err := cluster.ServeShard(svc, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			servers[s] = append(servers[s], srv)
+			addrs[s] = append(addrs[s], srv.Addr())
+			for _, name := range names {
+				if ring.Owner(name) != s {
+					continue
+				}
+				if err := svc.Register(name, "chaos.invalid:0"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	front, err := cluster.NewFront(addrs, cluster.Options{
+		Net: netsearch.Options{
+			Retry:     netsearch.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1},
+			SleepFunc: func(time.Duration) {},
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { front.Close() })
+	web := httptest.NewServer(front.Handler())
+	t.Cleanup(web.Close)
+
+	// A third of the way through the run, the first replica of slot 0
+	// goes away: its listener closes (redials refused) and its live
+	// connections die under the queries in flight.
+	var kill sync.Once
+	rep, err := Run(Config{
+		Target: web.URL, Vocab: words, Label: "chaos",
+		Requests: requests, Workers: 4, Batch: batch, K: 5, Seed: 11,
+		OnProgress: func(done int) {
+			if done >= killAt {
+				kill.Do(func() { servers[0][0].Close() })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero failed queries: every request that raced the kill must have
+	// been answered by the surviving replica via failover.
+	if rep.Errors != 0 {
+		t.Fatalf("%d requests failed after shard kill (first: %s)", rep.Errors, rep.FirstError)
+	}
+	if rep.Shed != 0 {
+		t.Errorf("%d requests shed with no admission control configured", rep.Shed)
+	}
+	if rep.Queries != requests*batch {
+		t.Errorf("queries = %d, want %d", rep.Queries, requests*batch)
+	}
+	if snap := reg.Snapshot(); snap.Counters["cluster_failovers_total"] == 0 {
+		t.Error("cluster_failovers_total = 0, want > 0 after killing a replica under load")
+	}
+	// Bounded tail: failover costs a redial, not a timeout. The bound is
+	// generous for a loaded CI machine; a hang would blow far past it.
+	if limit := 5 * time.Second; rep.P99us <= 0 || rep.P99us > float64(limit/time.Microsecond) {
+		t.Errorf("p99 = %.0fus, want within (0, %s]", rep.P99us, limit)
+	}
+}

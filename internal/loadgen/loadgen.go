@@ -1,0 +1,334 @@
+// Package loadgen is the reproducible load-generation harness for the
+// selection-serving surface (DESIGN.md §14): it replays a seeded Zipf
+// query workload against a running selectd (single process or cluster
+// front) over real HTTP, in closed- or open-loop mode, and reports
+// client-side QPS and exact latency quantiles in a JSON report the
+// benchdiff gate can diff run-over-run.
+//
+// The workload is a pure function of (Seed, Requests, Batch, Terms,
+// Vocab): request g's queries are drawn from randx fork g+1, so two runs
+// with the same config issue byte-identical query streams regardless of
+// worker count or scheduling — the property that makes a load report
+// comparable across commits.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/randx"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Target is the base URL of the serving surface under test, e.g.
+	// "http://127.0.0.1:8080".
+	Target string `json:"target"`
+	// Mode is "closed" (each worker issues its next request as soon as
+	// the previous one completes — the default) or "open" (requests are
+	// launched on a fixed schedule of Rate per second, backpressure or
+	// not, which is what exposes queueing collapse).
+	Mode string `json:"mode,omitempty"`
+	// Workers is the closed-loop concurrency (and the open-loop launcher
+	// pool). Default 4.
+	Workers int `json:"workers,omitempty"`
+	// Requests is the number of timed HTTP requests. Default 64.
+	Requests int `json:"requests"`
+	// Rate is the open-loop launch schedule in requests/second (ignored
+	// in closed mode). Default 100.
+	Rate float64 `json:"rate,omitempty"`
+	// Batch > 1 sends each request as POST /rank/batch carrying Batch
+	// queries; Batch <= 1 sends single GET /rank requests.
+	Batch int `json:"batch,omitempty"`
+	// Alg and K are passed through to the rank API.
+	Alg string `json:"alg,omitempty"`
+	K   int    `json:"k,omitempty"`
+	// Terms is the number of query terms per query. Default 3.
+	Terms int `json:"terms,omitempty"`
+	// ZipfS is the Zipf skew (> 1; default 1.2): queries draw their terms
+	// from Vocab with rank-frequency skew, like real query logs.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Seed fixes the workload. Default 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Vocab is the term universe queries draw from.
+	Vocab []string `json:"-"`
+	// Label names the run in the report's metric keys
+	// (loadgen/<label>/qps). Default "run".
+	Label string `json:"label,omitempty"`
+	// Timeout bounds each HTTP request. Default 30s.
+	Timeout time.Duration `json:"-"`
+	// OnProgress, when set, is called once per completed request with the
+	// number of requests finished so far — the hook the chaos harness
+	// uses to inject a fault mid-run.
+	OnProgress func(done int) `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 64
+	}
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Terms <= 0 {
+		c.Terms = 3
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Alg == "" {
+		c.Alg = "cori"
+	}
+	if c.Label == "" {
+		c.Label = "run"
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Metric is one named scalar in a report, in the shape the benchdiff
+// gate ingests: direction-aware, so a QPS drop and a p99 rise are both
+// regressions.
+type Metric struct {
+	Value          float64 `json:"value"`
+	Unit           string  `json:"unit,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+}
+
+// Report is one load run's outcome.
+type Report struct {
+	Label          string  `json:"label"`
+	Config         Config  `json:"config"`
+	Requests       int     `json:"requests"`
+	Queries        int     `json:"queries"`
+	Shed           int     `json:"shed,omitempty"`   // 429 responses
+	Errors         int     `json:"errors,omitempty"` // transport + non-2xx (except 429)
+	FirstError     string  `json:"first_error,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	QPS            float64 `json:"qps"`
+	P50us          float64 `json:"p50_us"`
+	P95us          float64 `json:"p95_us"`
+	P99us          float64 `json:"p99_us"`
+	// Metrics carries the headline numbers keyed for the benchdiff gate:
+	// loadgen/<label>/qps and loadgen/<label>/p99_us.
+	Metrics map[string]Metric `json:"metrics"`
+	// Server is the target's /metrics?format=json snapshot taken after
+	// the run (null when the target does not expose one).
+	Server json.RawMessage `json:"server,omitempty"`
+}
+
+// queriesFor builds request g's queries — a pure function of the config,
+// so the workload replays identically run over run.
+func (c Config) queriesFor(g int) []string {
+	src := randx.New(c.Seed).Fork(uint64(g) + 1)
+	zipf := randx.NewZipf(src, c.ZipfS, 1, uint64(len(c.Vocab)-1))
+	n := c.Batch
+	if n <= 1 {
+		n = 1
+	}
+	queries := make([]string, n)
+	var sb strings.Builder
+	for i := range queries {
+		sb.Reset()
+		for t := 0; t < c.Terms; t++ {
+			if t > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(c.Vocab[zipf.Uint64()])
+		}
+		queries[i] = sb.String()
+	}
+	return queries
+}
+
+// Run executes the workload and returns its report. A shed response
+// (429) is the admission contract working as designed and is counted
+// separately from Errors; any other non-2xx or transport failure counts
+// as an error and fails the run's caller (cmd/loadgen exits nonzero).
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	if len(cfg.Vocab) == 0 {
+		return nil, fmt.Errorf("loadgen: empty vocabulary")
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	// One untimed warmup request dials connections and compiles the
+	// target's snapshots, so the timed window prices steady state.
+	if _, _, err := issue(client, cfg, cfg.queriesFor(0)); err != nil {
+		return nil, fmt.Errorf("loadgen: warmup: %w", err)
+	}
+
+	latencies := make([]float64, cfg.Requests) // seconds; index = request
+	status := make([]int, cfg.Requests)
+	errs := make([]error, cfg.Requests)
+	var done atomic.Int64
+
+	// Requests are distributed to workers round-robin by index; each
+	// index's outcome lands in its own slot, so no locking. parallel.Map
+	// bounds the fan-out (no bare goroutines) and propagates panics.
+	workers := make([]int, cfg.Workers)
+	for i := range workers {
+		workers[i] = i
+	}
+	start := time.Now()
+	_, runErr := parallel.Map(cfg.Workers, workers, func(_ int, w int) (struct{}, error) {
+		for g := w; g < cfg.Requests; g += cfg.Workers {
+			if cfg.Mode == "open" {
+				// Launch request g at its scheduled instant, late or not —
+				// the open-loop property that shows queueing collapse.
+				at := start.Add(time.Duration(float64(g) / cfg.Rate * float64(time.Second)))
+				if d := time.Until(at); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			t0 := time.Now()
+			code, _, err := issue(client, cfg, cfg.queriesFor(g))
+			latencies[g] = time.Since(t0).Seconds()
+			status[g] = code
+			errs[g] = err
+			if cfg.OnProgress != nil {
+				cfg.OnProgress(int(done.Add(1)))
+			} else {
+				done.Add(1)
+			}
+		}
+		return struct{}{}, nil
+	})
+	elapsed := time.Since(start).Seconds()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	rep := &Report{
+		Label:          cfg.Label,
+		Config:         cfg,
+		Requests:       cfg.Requests,
+		ElapsedSeconds: elapsed,
+	}
+	perReq := cfg.Batch
+	if perReq <= 1 {
+		perReq = 1
+	}
+	ok := make([]float64, 0, cfg.Requests)
+	for g := 0; g < cfg.Requests; g++ {
+		switch {
+		case errs[g] != nil:
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = errs[g].Error()
+			}
+		case status[g] == http.StatusTooManyRequests:
+			rep.Shed++
+		case status[g] >= 300:
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = fmt.Sprintf("request %d: HTTP %d", g, status[g])
+			}
+		default:
+			rep.Queries += perReq
+			ok = append(ok, latencies[g])
+		}
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Queries) / elapsed
+	}
+	sort.Float64s(ok)
+	rep.P50us = quantileUS(ok, 0.50)
+	rep.P95us = quantileUS(ok, 0.95)
+	rep.P99us = quantileUS(ok, 0.99)
+	rep.Metrics = map[string]Metric{
+		"loadgen/" + cfg.Label + "/qps":    {Value: rep.QPS, Unit: "qps", HigherIsBetter: true},
+		"loadgen/" + cfg.Label + "/p99_us": {Value: rep.P99us, Unit: "us"},
+	}
+	rep.Server = scrape(client, cfg.Target)
+	return rep, nil
+}
+
+// issue sends one request — a single GET /rank or a POST /rank/batch —
+// and fully drains the response so connections are reused. The status
+// code is the outcome; only transport failures are errors here.
+func issue(client *http.Client, cfg Config, queries []string) (int, []byte, error) {
+	var resp *http.Response
+	var err error
+	if cfg.Batch > 1 {
+		payload, merr := json.Marshal(map[string]any{
+			"queries": queries, "alg": cfg.Alg, "k": cfg.K,
+		})
+		if merr != nil {
+			return 0, nil, merr
+		}
+		resp, err = client.Post(cfg.Target+"/rank/batch", "application/json", bytes.NewReader(payload))
+	} else {
+		resp, err = client.Get(cfg.Target + "/rank?q=" + url.QueryEscape(queries[0]) +
+			"&alg=" + url.QueryEscape(cfg.Alg) + "&k=" + fmt.Sprint(cfg.K))
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	//lint:ignore errsink body close after a full drain is best effort; a broken connection fails the next request loudly
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// scrape grabs the target's JSON metrics snapshot, best effort.
+func scrape(client *http.Client, target string) json.RawMessage {
+	resp, err := client.Get(target + "/metrics?format=json")
+	if err != nil {
+		return nil
+	}
+	//lint:ignore errsink the snapshot is best effort; a close error cannot change it
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || !json.Valid(raw) {
+		return nil
+	}
+	return raw
+}
+
+// quantileUS is the exact nearest-rank quantile of a sorted sample, in
+// microseconds — the same estimator telemetry.Window uses, so client- and
+// server-side percentiles are comparable.
+func quantileUS(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank] * 1e6
+}

@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestWorkloadDeterministic: the query stream is a pure function of the
+// config — two runs with the same seed replay byte-identical queries, so
+// a load report is comparable across commits.
+func TestWorkloadDeterministic(t *testing.T) {
+	_, vocab := SyntheticModels(1, 0xbe7c)
+	cfg := Config{Seed: 42, Terms: 3, Batch: 4, Vocab: vocab}.withDefaults()
+	again := Config{Seed: 42, Terms: 3, Batch: 4, Vocab: vocab}.withDefaults()
+	other := Config{Seed: 43, Terms: 3, Batch: 4, Vocab: vocab}.withDefaults()
+	same, diff := 0, 0
+	for g := 0; g < 32; g++ {
+		a, b, c := cfg.queriesFor(g), again.queriesFor(g), other.queriesFor(g)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("request %d: same seed produced different queries:\n%v\n%v", g, a, b)
+		}
+		if reflect.DeepEqual(a, c) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Errorf("different seeds produced identical workloads (%d/%d same)", same, same+diff)
+	}
+}
+
+func TestRunClosedLoopSingleProcess(t *testing.T) {
+	d, err := Spawn(SpawnConfig{DBs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	rep, err := Run(Config{
+		Target: d.URL, Vocab: d.Vocab, Label: "single",
+		Requests: 24, Workers: 4, K: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run had %d errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Queries != 24 || rep.QPS <= 0 || rep.P99us <= 0 || rep.P50us > rep.P99us {
+		t.Errorf("report implausible: %+v", rep)
+	}
+	if _, ok := rep.Metrics["loadgen/single/qps"]; !ok {
+		t.Error("missing loadgen/single/qps metric")
+	}
+	if m, ok := rep.Metrics["loadgen/single/p99_us"]; !ok || m.HigherIsBetter {
+		t.Errorf("p99 metric wrong: %+v (present %v)", m, ok)
+	}
+	if rep.Server == nil || !json.Valid(rep.Server) {
+		t.Error("missing server metrics snapshot")
+	}
+}
+
+func TestRunBatchAgainstCluster(t *testing.T) {
+	d, err := Spawn(SpawnConfig{Shards: 2, DBs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	rep, err := Run(Config{
+		Target: d.URL, Vocab: d.Vocab, Label: "cluster",
+		Mode: "open", Rate: 2000,
+		Requests: 12, Workers: 3, Batch: 4, K: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run had %d errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Queries != 48 {
+		t.Errorf("queries = %d, want 12 requests x 4 batch = 48", rep.Queries)
+	}
+}

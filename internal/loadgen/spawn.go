@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/langmodel"
+	"repro/internal/randx"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// SpawnConfig parameterizes a self-contained loopback deployment — the
+// piece that makes a load run reproducible in CI without any external
+// service: synthetic models are generated from a seed, persisted to a
+// scratch store, and served warm (no sampling) by a real selectd stack.
+type SpawnConfig struct {
+	// Shards > 0 serves a sharded cluster (Shards single-replica slots
+	// behind a front tier); 0 serves a single-process service.
+	Shards int
+	// DBs is the synthetic federation size. Default 50.
+	DBs int
+	// Seed fixes the synthetic model set. Default 0xbe7c (the bench pool).
+	Seed uint64
+	// Admission configures load shedding on the serving surface; the zero
+	// value leaves it off.
+	Admission admission.Config
+}
+
+// Deployment is a running spawned stack.
+type Deployment struct {
+	// URL is the serving surface's base URL.
+	URL string
+	// Vocab is the word pool the synthetic models draw from — the term
+	// universe load queries should use.
+	Vocab []string
+	close []func() error
+}
+
+// Close tears the deployment down (HTTP server, shards, scratch store).
+func (d *Deployment) Close() {
+	for i := len(d.close) - 1; i >= 0; i-- {
+		d.close[i]()
+	}
+}
+
+// SyntheticModels builds n database models over a shared word pool, the
+// shape of a production selection service's model set (the same idiom as
+// the repo benchmarks: per-model document counts, vocabulary sizes, and
+// document frequencies all drawn from one seeded stream).
+func SyntheticModels(n int, seed uint64) ([]*langmodel.Model, []string) {
+	const pool = 4000
+	words := make([]string, pool)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%04d", i)
+	}
+	src := randx.New(seed)
+	models := make([]*langmodel.Model, n)
+	for i := range models {
+		m := langmodel.New()
+		m.SetDocs(500 + src.Intn(5000))
+		terms := 500 + src.Intn(1000)
+		for _, j := range src.Perm(pool)[:terms] {
+			df := 1 + src.Intn(400)
+			m.AddTerm(words[j], langmodel.TermStats{DF: df, CTF: int64(df * (1 + src.Intn(4)))})
+		}
+		models[i] = m
+	}
+	return models, words
+}
+
+// Spawn starts a loopback deployment per cfg and returns it running.
+// Models are persisted to a temp store and loaded via warm registration
+// ("spawn.invalid:0" — never dialed, models come from the store), so
+// startup costs no sampling.
+func Spawn(cfg SpawnConfig) (*Deployment, error) {
+	if cfg.DBs <= 0 {
+		cfg.DBs = 50
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xbe7c
+	}
+	models, words := SyntheticModels(cfg.DBs, cfg.Seed)
+
+	d := &Deployment{Vocab: words}
+	dir, err := os.MkdirTemp("", "loadgen-spawn-*")
+	if err != nil {
+		return nil, err
+	}
+	d.close = append(d.close, func() error { return os.RemoveAll(dir) })
+	st, err := store.Open(dir)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	names := make([]string, cfg.DBs)
+	for i, m := range models {
+		names[i] = fmt.Sprintf("db-%03d", i)
+		if err := st.Put(names[i], m); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+
+	var handler http.Handler
+	if cfg.Shards > 0 {
+		ring := cluster.NewRing(cfg.Shards, 0, 0)
+		addrs := make([][]string, cfg.Shards)
+		for s := 0; s < cfg.Shards; s++ {
+			svc := service.New(analysis.Database(), st)
+			d.close = append(d.close, svc.Close)
+			srv, err := cluster.ServeShard(svc, "127.0.0.1:0")
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			d.close = append(d.close, srv.Close)
+			addrs[s] = []string{srv.Addr()}
+			for _, name := range names {
+				if ring.Owner(name) != s {
+					continue
+				}
+				if err := svc.Register(name, "spawn.invalid:0"); err != nil {
+					d.Close()
+					return nil, err
+				}
+			}
+		}
+		front, err := cluster.NewFront(addrs, cluster.Options{
+			Metrics:   telemetry.NewRegistry(),
+			Admission: cfg.Admission,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.close = append(d.close, front.Close)
+		handler = front.Handler()
+	} else {
+		svc := service.New(analysis.Database(), st)
+		d.close = append(d.close, svc.Close)
+		svc.SetMetrics(telemetry.NewRegistry())
+		svc.SetAdmission(cfg.Admission)
+		for _, name := range names {
+			if err := svc.Register(name, "spawn.invalid:0"); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+		handler = svc.Handler()
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	//lint:ignore baregoroutine,errsink the HTTP server lives for the deployment, not a bounded fan-out; Close shuts it down via the listener and Serve's exit error is that shutdown
+	go httpSrv.Serve(ln)
+	d.close = append(d.close, httpSrv.Close)
+	d.URL = "http://" + ln.Addr().String()
+	return d, nil
+}

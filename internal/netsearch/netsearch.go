@@ -47,14 +47,15 @@ import (
 // request (or sampling run) that caused it. The cluster ops reuse N as
 // the rank cutoff k and carry the database name/addr for registration.
 type request struct {
-	Op    string `json:"op"`
-	Query string `json:"query,omitempty"`
-	N     int    `json:"n,omitempty"`
-	ID    int    `json:"id,omitempty"`
-	Alg   string `json:"alg,omitempty"`
-	Name  string `json:"name,omitempty"`
-	Addr  string `json:"addr,omitempty"`
-	Trace string `json:"trace,omitempty"`
+	Op      string   `json:"op"`
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+	N       int      `json:"n,omitempty"`
+	ID      int      `json:"id,omitempty"`
+	Alg     string   `json:"alg,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Addr    string   `json:"addr,omitempty"`
+	Trace   string   `json:"trace,omitempty"`
 }
 
 // response is one wire response.
@@ -63,6 +64,7 @@ type response struct {
 	Doc    *corpus.Document `json:"doc,omitempty"`
 	Count  *int             `json:"count,omitempty"`
 	Ranked []RankedDB       `json:"ranked,omitempty"`
+	Batch  []RankedBatch    `json:"batch,omitempty"`
 	Error  string           `json:"error,omitempty"`
 }
 
@@ -73,11 +75,28 @@ type RankedDB struct {
 	Score float64 `json:"score"`
 }
 
+// RankedBatch is one query's outcome inside a batched ranking — the wire
+// twin of service.BatchItem. Items fail independently: Error carries a
+// per-query problem (no index terms, say) while the neighbors still rank.
+type RankedBatch struct {
+	Ranked []RankedDB `json:"ranked,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
 // DBRanker matches servables that can rank their registered databases for
 // a query — a selection service shard (see internal/cluster). The server
 // forwards "rank" requests to it when available.
 type DBRanker interface {
 	RankDBs(query, alg string, k int) ([]RankedDB, error)
+}
+
+// BatchDBRanker matches servables that rank a whole batch of queries in
+// one call, amortizing snapshot acquisition and scratch reuse (the
+// high-QPS path, DESIGN.md §14). The server prefers it for "rankbatch"
+// requests and falls back to per-query DBRanker when only that is
+// implemented, so old shards keep working behind a new front.
+type BatchDBRanker interface {
+	RankDBsBatch(queries []string, alg string, k int) ([]RankedBatch, error)
 }
 
 // Registrar matches servables whose database registry can be administered
@@ -236,7 +255,7 @@ func (s *Server) handle(conn net.Conn) {
 // cardinality.
 func promSafe(op string) string {
 	switch op {
-	case "search", "fetch", "count", "rank", "register", "unregister":
+	case "search", "fetch", "count", "rank", "rankbatch", "register", "unregister":
 		return op
 	}
 	return "other"
@@ -276,6 +295,28 @@ func (s *Server) dispatch(req request) response {
 			return response{Error: err.Error()}
 		}
 		return response{Ranked: ranked}
+	case "rankbatch":
+		if br, ok := s.db.(BatchDBRanker); ok {
+			batch, err := br.RankDBsBatch(req.Queries, req.Alg, req.N)
+			if err != nil {
+				return response{Error: err.Error()}
+			}
+			return response{Batch: batch}
+		}
+		dr, ok := s.db.(DBRanker)
+		if !ok {
+			return response{Error: "rankbatch unsupported by this database"}
+		}
+		batch := make([]RankedBatch, len(req.Queries))
+		for i, q := range req.Queries {
+			ranked, err := dr.RankDBs(q, req.Alg, req.N)
+			if err != nil {
+				batch[i].Error = err.Error()
+				continue
+			}
+			batch[i].Ranked = ranked
+		}
+		return response{Batch: batch}
 	case "register":
 		rg, ok := s.db.(Registrar)
 		if !ok {
@@ -581,6 +622,23 @@ func (c *Client) RankDBs(query, alg string, k int, trace string) ([]RankedDB, er
 		return nil, err
 	}
 	return resp.Ranked, nil
+}
+
+// RankDBsBatch scatters a whole batch of queries to the shard in one wire
+// frame, returning one RankedBatch per query in input order. Like RankDBs
+// it is a pure read (safe to retry) and takes a per-request trace. A
+// whole-batch failure (unknown algorithm, cold shard) comes back as an
+// error; per-query problems ride in each item's Error.
+func (c *Client) RankDBsBatch(queries []string, alg string, k int, trace string) ([]RankedBatch, error) {
+	resp, err := c.roundTrip(request{Op: "rankbatch", Queries: queries, Alg: alg, N: k, Trace: trace})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(queries) {
+		return nil, fmt.Errorf("netsearch: rankbatch returned %d items for %d queries",
+			len(resp.Batch), len(queries))
+	}
+	return resp.Batch, nil
 }
 
 // RegisterDB registers a database on a remote shard (a servable

@@ -43,9 +43,19 @@ type MergedHit struct {
 // mismatch is a programmer error and is reported, never swallowed as an
 // empty ranking. k <= 0 returns everything.
 func MergeWeighted(results [][]DocScore, dbScores []float64, k int) ([]MergedHit, error) {
+	return MergeWeightedInto(nil, results, dbScores, k)
+}
+
+// MergeWeightedInto is MergeWeighted appending into dst (grown as needed):
+// the batch-serving form. A front tier fusing a whole batch of queries
+// calls it once per query with the same recycled buffer, so the merge
+// allocates per batch instead of per query. The returned slice aliases
+// dst's storage; callers that retain results across iterations must copy.
+func MergeWeightedInto(dst []MergedHit, results [][]DocScore, dbScores []float64, k int) ([]MergedHit, error) {
 	if len(results) != len(dbScores) {
 		return nil, fmt.Errorf("selection: MergeWeighted: %d result lists but %d database scores", len(results), len(dbScores))
 	}
+	merged := dst[:0]
 	maxDB, minDB := 0.0, 0.0
 	for i, s := range dbScores {
 		if i == 0 || s > maxDB {
@@ -55,7 +65,6 @@ func MergeWeighted(results [][]DocScore, dbScores []float64, k int) ([]MergedHit
 			minDB = s
 		}
 	}
-	var merged []MergedHit
 	for db, list := range results {
 		w := 1.0
 		switch {

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+)
+
+// Batch rank: the high-QPS serving entry point (DESIGN.md §14). A batch
+// request carries many queries that share one algorithm and one k; the
+// service parses the algorithm once, acquires the compiled snapshot once,
+// and reuses a single pooled rankScratch across every query — so the
+// per-query cost converges on pure tokenize+score, with the per-request
+// overhead (pool round-trips, snapshot load, timer, HTTP envelope when
+// called over the wire) amortized across the batch.
+
+// BatchItem is one query's outcome inside a batch ranking. Items fail
+// independently: a query that tokenizes to nothing reports its error here
+// while its neighbors still rank.
+type BatchItem struct {
+	Ranked []RankedDB `json:"ranked,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// RankBatch ranks every query in the batch against the same compiled
+// snapshot, returning one BatchItem per query in input order. Whole-batch
+// failures — an unknown algorithm (ErrInvalid), an empty batch
+// (ErrInvalid), a federation with no learned models (ErrNoModels) — are
+// returned as an error; per-query problems land in the item's Error.
+//
+// RankBatch scores exactly like Rank (both funnel into rankSnapshot), so
+// batched and sequential rankings are bit-identical. It deliberately
+// bypasses the result cache: a batch is the bulk path, and filling the
+// LRU with its queries would evict the interactive working set.
+func (s *Service) RankBatch(queries []string, algName string, k int) ([]BatchItem, error) {
+	reg := s.Metrics()
+	defer reg.Timer("service_rank_batch_seconds")()
+
+	if len(queries) == 0 {
+		reg.Counter("service_select_errors_total").Inc()
+		return nil, fmt.Errorf("service: empty batch: %w", ErrInvalid)
+	}
+	alg, err := parseAlgorithm(algName)
+	if err != nil {
+		reg.Counter("service_select_errors_total").Inc()
+		return nil, err
+	}
+	snap := s.snapshot()
+	if snap.compiled.NumDBs() == 0 {
+		reg.Counter("service_select_errors_total").Inc()
+		return nil, ErrNoModels
+	}
+
+	scr := rankScratchPool.Get().(*rankScratch)
+	defer rankScratchPool.Put(scr)
+
+	items := make([]BatchItem, len(queries))
+	for i, q := range queries {
+		scr.terms = s.analyzer.AppendTokens(scr.terms[:0], q)
+		if len(scr.terms) == 0 {
+			items[i].Error = fmt.Sprintf("service: query has no index terms: %v", ErrInvalid)
+			continue
+		}
+		items[i].Ranked = s.rankSnapshot(snap, alg, scr, k)
+	}
+	reg.Counter("service_batch_ranks_total").Inc()
+	reg.Counter("service_batch_queries_total").Add(int64(len(queries)))
+	return items, nil
+}

@@ -24,6 +24,8 @@ import (
 //	POST   /databases/{name}/sample        SampleOptions (all optional)
 //	GET    /databases/{name}/summary?metric=avg-tf&k=20
 //	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB
+//	POST   /rank/batch                     {"queries":[...],"alg":"cori","k":5}
+//	                                       -> {"results":[{"ranked":[...]}...]}
 //	GET    /healthz
 //	GET    /metrics                        (when SetMetrics was called;
 //	                                        JSON or Prometheus text per Accept)
@@ -52,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/rank", s.handleRank)
+	mux.HandleFunc("/rank/batch", s.handleRankBatch)
 	mux.HandleFunc("/databases", s.handleDatabases)
 	mux.HandleFunc("/databases/", s.handleDatabase)
 	// The registry is resolved per request, so SetMetrics works whether
@@ -133,13 +136,33 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, httpError{Error: err.Error()})
 }
 
+// shed answers a load-shed request: 429 with the gate's Retry-After hint.
+// Shared verbatim by the single-process service and the cluster front so
+// clients see one overload contract everywhere.
+func shed(w http.ResponseWriter, retryAfterSeconds int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusTooManyRequests,
+		httpError{Error: "service overloaded, retry later"})
+}
+
 func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	gate := s.gate.Load()
+	ticket, ok := gate.Admit()
+	if !ok {
+		shed(w, gate.RetryAfterSeconds())
+		return
+	}
+	defer ticket.Release()
 	q := r.URL.Query()
 	k, _ := strconv.Atoi(q.Get("k"))
+	if clamped := ticket.ClampK(k); clamped != k {
+		k = clamped
+		w.Header().Set("X-Degraded-K", strconv.Itoa(k))
+	}
 	ranked, cacheStatus, err := s.rankCached(q.Get("q"), q.Get("alg"), k)
 	// X-Cache reports how the result was served: "hit" (cached, including
 	// single-flight waits on an identical in-flight query), "miss"
@@ -155,6 +178,63 @@ func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ranked)
+}
+
+// batchRankRequest is the POST /rank/batch body, shared with the cluster
+// front so one client speaks to both surfaces.
+type batchRankRequest struct {
+	Queries []string `json:"queries"`
+	Alg     string   `json:"alg,omitempty"`
+	K       int      `json:"k,omitempty"`
+}
+
+// batchRankResponse is the POST /rank/batch reply: one item per query, in
+// request order. Degraded reports that admission control clamped k.
+type batchRankResponse struct {
+	Results  []BatchItem `json:"results"`
+	Degraded bool        `json:"degraded,omitempty"`
+}
+
+// MaxBatchQueries bounds one batch request; a larger batch is the
+// client's mistake (400), not an invitation to unbounded work per
+// admission slot.
+const MaxBatchQueries = 1024
+
+func (s *Service) handleRankBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req batchRankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the %d-query limit: %w",
+				len(req.Queries), MaxBatchQueries, ErrInvalid))
+		return
+	}
+	// One batch holds one admission slot: the in-flight unit is the
+	// request (what bounds memory and scatter fan-out), not the query.
+	gate := s.gate.Load()
+	ticket, ok := gate.Admit()
+	if !ok {
+		shed(w, gate.RetryAfterSeconds())
+		return
+	}
+	defer ticket.Release()
+	k := ticket.ClampK(req.K)
+	if k != req.K {
+		w.Header().Set("X-Degraded-K", strconv.Itoa(k))
+	}
+	items, err := s.RankBatch(req.Queries, req.Alg, k)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchRankResponse{Results: items, Degraded: k != req.K})
 }
 
 func (s *Service) handleDatabases(w http.ResponseWriter, r *http.Request) {

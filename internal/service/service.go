@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/admission"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/langmodel"
@@ -174,6 +175,10 @@ type Service struct {
 	compileMu sync.Mutex
 	cache     atomic.Pointer[rankCache]
 
+	// gate is the admission controller for the rank endpoints (nil, the
+	// default, admits everything; see SetAdmission and DESIGN.md §14).
+	gate atomic.Pointer[admission.Gate]
+
 	// Incremental-rebuild state (snapshot.go), guarded by mu: dirty names
 	// databases whose model was replaced in place since the last rebuild
 	// collected dirt; dirtyAll records a membership change, which forces
@@ -221,6 +226,16 @@ func (s *Service) SetRankCacheSize(n int) {
 		return
 	}
 	s.cache.Store(newRankCache(n))
+}
+
+// SetAdmission installs admission control on the rank endpoints (GET
+// /rank, POST /rank/batch): bounded concurrency, latency shedding, and
+// k-degradation per cfg (all thresholds off by default — a zero cfg
+// removes the gate). The gate's telemetry lands in the registry installed
+// at call time, so install metrics first. Direct Rank/RankBatch calls are
+// not gated: admission protects the serving surface, not embedded use.
+func (s *Service) SetAdmission(cfg admission.Config) {
+	s.gate.Store(admission.New(cfg, s.Metrics(), "service"))
 }
 
 // SetMetrics installs a telemetry registry. Every sampling run, selection

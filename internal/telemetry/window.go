@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Window is a sliding window over the most recent observations with exact
+// quantiles — the admission-control companion to Histogram. A Histogram
+// never forgets: after an overload episode its p99 stays poisoned for the
+// process lifetime, which would leave a latency-driven shedding gate stuck
+// open long after the queue drained. A Window sees only the last size
+// observations, so the signal recovers as fast as traffic does.
+//
+// Quantiles are exact over the window (the buffer is sorted on demand),
+// and the sorted view is cached between observations: with the default
+// recalculation stride the amortized cost per Quantile call during a
+// steady observation stream is a few dozen nanoseconds. All methods are
+// safe for concurrent use.
+type Window struct {
+	mu     sync.Mutex
+	buf    []float64 // ring buffer of the last len(buf) observations
+	filled int       // number of valid entries in buf (<= len(buf))
+	next   int       // ring write position
+	dirty  int       // observations since the sorted cache was rebuilt
+	sorted []float64 // cached ascending copy of the valid entries
+}
+
+// windowRecalcStride bounds cache staleness: a cached sorted view is
+// reused for at most this many new observations before Quantile re-sorts.
+const windowRecalcStride = 32
+
+// NewWindow returns a window over the last size observations (minimum 16).
+func NewWindow(size int) *Window {
+	if size < 16 {
+		size = 16
+	}
+	return &Window{buf: make([]float64, size)}
+}
+
+// Observe records one value. NaN is ignored, like Histogram.Observe.
+func (w *Window) Observe(v float64) {
+	if w == nil || math.IsNaN(v) {
+		return
+	}
+	w.mu.Lock()
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.filled < len(w.buf) {
+		w.filled++
+	}
+	w.dirty++
+	w.mu.Unlock()
+}
+
+// Count returns how many observations the window currently holds (at most
+// its size).
+func (w *Window) Count() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.filled
+}
+
+// Quantile returns the exact q-quantile (0 < q <= 1, nearest-rank) of the
+// windowed observations, 0 when the window is empty. The sorted view is
+// cached and refreshed at most every windowRecalcStride observations, so
+// a hot admission path can call this per request without re-sorting per
+// request; the value may lag the newest few observations by design.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled == 0 {
+		return 0
+	}
+	if w.sorted == nil || w.dirty >= windowRecalcStride || len(w.sorted) != w.filled {
+		w.sorted = append(w.sorted[:0], w.buf[:w.filled]...)
+		sort.Float64s(w.sorted)
+		w.dirty = 0
+	}
+	rank := int(math.Ceil(q*float64(len(w.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(w.sorted) {
+		rank = len(w.sorted) - 1
+	}
+	return w.sorted[rank]
+}

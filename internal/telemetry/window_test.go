@@ -1,0 +1,75 @@
+package telemetry
+
+import "testing"
+
+func TestWindowQuantileExact(t *testing.T) {
+	w := NewWindow(100)
+	if got := w.Quantile(0.99); got != 0 {
+		t.Errorf("empty window quantile = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}} {
+		if got := w.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if w.Count() != 100 {
+		t.Errorf("Count = %d, want 100", w.Count())
+	}
+}
+
+func TestWindowForgets(t *testing.T) {
+	w := NewWindow(16)
+	for i := 0; i < 16; i++ {
+		w.Observe(1000) // a slow episode fills the window
+	}
+	if got := w.Quantile(0.99); got != 1000 {
+		t.Fatalf("poisoned window p99 = %v, want 1000", got)
+	}
+	for i := 0; i < 64; i++ {
+		w.Observe(1) // recovery traffic pushes the episode out
+	}
+	if got := w.Quantile(0.99); got != 1 {
+		t.Errorf("recovered window p99 = %v, want 1 (Histogram would still be poisoned)", got)
+	}
+	if w.Count() != 16 {
+		t.Errorf("Count = %d, want the window size", w.Count())
+	}
+}
+
+func TestWindowCacheRefreshesDuringFill(t *testing.T) {
+	// Quantile between observations must track the growing window even
+	// before a full recalc stride has passed.
+	w := NewWindow(64)
+	w.Observe(5)
+	if got := w.Quantile(0.99); got != 5 {
+		t.Fatalf("1-observation p99 = %v, want 5", got)
+	}
+	w.Observe(7)
+	if got := w.Quantile(1.0); got != 7 {
+		t.Errorf("max after growth = %v, want 7 (stale cache)", got)
+	}
+}
+
+func TestWindowNilAndNaN(t *testing.T) {
+	var w *Window
+	w.Observe(1) // no panic
+	if w.Quantile(0.5) != 0 || w.Count() != 0 {
+		t.Error("nil window must report zero")
+	}
+	real := NewWindow(16)
+	real.Observe(nan())
+	if real.Count() != 0 {
+		t.Error("NaN observation was recorded")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
