@@ -36,6 +36,8 @@ func main() {
 		reqs    = flag.Int("requests", 200, "timed HTTP requests to issue")
 		workers = flag.Int("workers", 4, "concurrent workers")
 		batch   = flag.Int("batch", 0, ">1 sends POST /rank/batch with this many queries per request")
+		stream  = flag.Bool("stream", false, "send batches as POST /rank/batch?stream=1 and record TTFR (requires -batch > 1)")
+		dupRate = flag.Float64("dup-rate", 0, "probability in (0,1] each query repeats from a seeded hot pool (exercises coalescing)")
 		alg     = flag.String("alg", "cori", "selection algorithm")
 		k       = flag.Int("k", 10, "rank cutoff")
 		terms   = flag.Int("terms", 3, "terms per query")
@@ -49,7 +51,8 @@ func main() {
 
 	cfg := loadgen.Config{
 		Target: *target, Mode: *mode, Workers: *workers, Requests: *reqs,
-		Rate: *rate, Batch: *batch, Alg: *alg, K: *k, Terms: *terms,
+		Rate: *rate, Batch: *batch, Stream: *stream, DupRate: *dupRate,
+		Alg: *alg, K: *k, Terms: *terms,
 		ZipfS: *zipfS, Seed: *seed, Label: *label, Timeout: *timeout,
 	}
 	if *spawn {
@@ -94,6 +97,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%d queries) in %.2fs: %.0f qps, p50 %.0fus p95 %.0fus p99 %.0fus, shed %d, errors %d\n",
 		rep.Requests, rep.Queries, rep.ElapsedSeconds, rep.QPS, rep.P50us, rep.P95us, rep.P99us, rep.Shed, rep.Errors)
+	if *stream {
+		fmt.Fprintf(os.Stderr, "loadgen: ttfr p50 %.0fus p95 %.0fus p99 %.0fus\n",
+			rep.TTFRP50us, rep.TTFRP95us, rep.TTFRP99us)
+	}
+	if rep.CoalescedBatch > 0 || rep.CoalescedFlight > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: coalesced batch %d, flight %d\n",
+			rep.CoalescedBatch, rep.CoalescedFlight)
+	}
 	if rep.Errors > 0 {
 		fatal(fmt.Errorf("%d requests failed (first: %s)", rep.Errors, rep.FirstError))
 	}

@@ -257,12 +257,26 @@ func TestFrontAdmissionOverload(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
 		t.Fatalf("saturated rank: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
-	if resp := postJSON(t, ts.URL+"/rank/batch",
-		batchRankRequest{Queries: []string{"apple"}, Alg: "cori"}, nil); resp.StatusCode != http.StatusTooManyRequests {
+	resp = postJSON(t, ts.URL+"/rank/batch",
+		batchRankRequest{Queries: []string{"apple"}, Alg: "cori"}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated batch: status %d, want 429", resp.StatusCode)
 	}
-	if shedCap.Value() != 2 {
-		t.Fatalf("shed counter = %d, want 2", shedCap.Value())
+	// Retry-After parity: the batch shed speaks the same overload contract
+	// as the single path.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("batch 429 without a Retry-After header")
+	}
+	// A streamed batch sheds identically — the refusal happens before any
+	// frame, so the client still gets a plain 429.
+	resp = postJSON(t, ts.URL+"/rank/batch?stream=1",
+		batchRankRequest{Queries: []string{"apple"}, Alg: "cori"}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("saturated streamed batch: status %d, Retry-After %q",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if shedCap.Value() != 3 {
+		t.Fatalf("shed counter = %d, want 3", shedCap.Value())
 	}
 
 	ticket.Release()
@@ -274,8 +288,8 @@ func TestFrontAdmissionOverload(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-release rank: status %d", resp.StatusCode)
 	}
-	if shedCap.Value() != 2 {
-		t.Errorf("request under the limit shed: counter = %d, want 2", shedCap.Value())
+	if shedCap.Value() != 3 {
+		t.Errorf("request under the limit shed: counter = %d, want 3", shedCap.Value())
 	}
 }
 

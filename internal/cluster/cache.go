@@ -1,0 +1,170 @@
+package cluster
+
+// frontCache is the front tier's result cache and in-flight coalescer for
+// single-query rankings (DESIGN.md §15). A front-tier cache hit saves an
+// entire scatter — one RPC per slot — which is why it exists even though
+// every shard already has its own rank cache. The key carries a front-
+// local topology epoch, bumped on every register/unregister routed through
+// this front, so a placement change invalidates the whole cache at the
+// cost of one atomic increment; stale entries age out of the LRU. The
+// epoch is best-effort by design: a registration routed through a
+// *different* front is invisible here, exactly as stale as the shards' own
+// epoch-keyed caches already allow, and bounded by the LRU's size.
+//
+// The flights map single-flights concurrent identical scatters the same
+// way the service coalescer does: a flight lives only while its leader
+// scatters, fulfill retires it, errors reach only the followers that were
+// already waiting — never a later, unrelated caller.
+
+import (
+	"sync"
+
+	"repro/internal/netsearch"
+)
+
+// DefaultFrontCacheSize is the capacity -front-cache enables by default.
+const DefaultFrontCacheSize = 1024
+
+type frontCacheKey struct {
+	// query is the raw query string: the front has no analyzer, so spelling
+	// variants miss here and coalesce shard-side on the term key instead.
+	query string
+	alg   string
+	k     int
+	epoch uint64
+}
+
+type frontFlight struct {
+	ready chan struct{}
+	val   []netsearch.RankedDB
+	err   error
+}
+
+type frontCacheEntry struct {
+	key frontCacheKey
+	val []netsearch.RankedDB
+
+	prev, next *frontCacheEntry // LRU list, head = most recent
+}
+
+type frontCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[frontCacheKey]*frontCacheEntry
+	head    *frontCacheEntry
+	tail    *frontCacheEntry
+	flights map[frontCacheKey]*frontFlight
+}
+
+func newFrontCache(capacity int) *frontCache {
+	return &frontCache{
+		cap:     capacity,
+		entries: make(map[frontCacheKey]*frontCacheEntry, capacity),
+		flights: make(map[frontCacheKey]*frontFlight),
+	}
+}
+
+// probe returns the cached fused ranking for key, refreshed to most-
+// recently-used. The returned slice is shared; callers copy before handing
+// it out.
+//
+//lint:hotpath
+func (c *frontCache) probe(key frontCacheKey) ([]netsearch.RankedDB, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		return nil, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// join returns the in-flight scatter for key and whether the caller leads
+// it. A leader must call fulfill exactly once.
+func (c *frontCache) join(key frontCacheKey) (*frontFlight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f := c.flights[key]; f != nil {
+		return f, false
+	}
+	f := &frontFlight{ready: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// fulfill publishes the leader's scatter result, retires the flight, and —
+// on success — admits the result to the LRU.
+func (c *frontCache) fulfill(key frontCacheKey, f *frontFlight, val []netsearch.RankedDB, err error) {
+	f.val, f.err = val, err
+	c.mu.Lock()
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	if err == nil {
+		c.addLocked(key, val)
+	}
+	c.mu.Unlock()
+	close(f.ready)
+}
+
+// Len reports the number of cached entries.
+func (c *frontCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// addLocked installs (or refreshes) a completed result. Caller holds c.mu.
+func (c *frontCache) addLocked(key frontCacheKey, val []netsearch.RankedDB) {
+	if e := c.entries[key]; e != nil {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &frontCacheEntry{key: key, val: val}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		c.evict(c.tail)
+	}
+}
+
+// evict unlinks e. Caller holds c.mu.
+func (c *frontCache) evict(e *frontCacheEntry) {
+	delete(c.entries, e.key)
+	c.unlink(e)
+}
+
+func (c *frontCache) unlink(e *frontCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *frontCache) pushFront(e *frontCacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *frontCache) moveToFront(e *frontCacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/admission"
 	"repro/internal/netsearch"
@@ -45,6 +47,13 @@ type Options struct {
 	// value disables admission control entirely — the default, so a front
 	// upgraded across this feature behaves exactly as before.
 	Admission admission.Config
+	// CacheSize enables the front-tier result cache for single-query
+	// rankings: a hit saves a whole scatter (one RPC per slot). 0 — the
+	// default — disables it, so existing fronts behave exactly as before;
+	// entries are keyed by (query, alg, k, topology epoch) and a
+	// register/unregister through this front invalidates them all (see
+	// cache.go).
+	CacheSize int
 }
 
 // replica is one shard process inside a slot, with the front's local
@@ -90,6 +99,8 @@ type Front struct {
 	logger    *slog.Logger
 	traces    *telemetry.TraceIDs
 	gate      *admission.Gate // nil unless Options.Admission enables it
+	cache     *frontCache     // nil unless Options.CacheSize enables it
+	epoch     atomic.Uint64   // topology epoch: bumped per register/unregister
 }
 
 // NewFront builds a front tier over the given slot topology: slots[i] is
@@ -120,6 +131,9 @@ func NewFront(slots [][]string, opts Options) (*Front, error) {
 		logger:    logger,
 		traces:    telemetry.NewTraceIDs("req"),
 		gate:      admission.New(opts.Admission, opts.Metrics, "cluster"),
+	}
+	if opts.CacheSize > 0 {
+		f.cache = newFrontCache(opts.CacheSize)
 	}
 	if f.netOpts.Metrics == nil {
 		f.netOpts.Metrics = opts.Metrics
@@ -206,7 +220,54 @@ func (f *Front) Close() error {
 // fixed topology, and invariant under failover because replicas of a
 // slot serve identical database sets and deterministic models. trace
 // correlates the scattered frames with the originating request.
+//
+// With Options.CacheSize set, completed rankings are served from the
+// front's epoch-keyed LRU and concurrent identical scatters single-flight
+// through it (cluster_select_cache_hits_total / _misses_total,
+// cluster_rank_coalesced_total{scope="flight"}). Errors are never cached
+// and reach only the callers already waiting on the failed scatter.
 func (f *Front) Rank(query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
+	if f.cache == nil {
+		return f.rankScatter(query, alg, k, trace)
+	}
+	key := frontCacheKey{query: query, alg: alg, k: k, epoch: f.epoch.Load()}
+	if val, ok := f.cache.probe(key); ok {
+		f.reg.Counter("cluster_select_cache_hits_total").Inc()
+		return append([]netsearch.RankedDB(nil), val...), nil
+	}
+	fl, leader := f.cache.join(key)
+	if !leader {
+		f.reg.Counter(`cluster_rank_coalesced_total{scope="flight"}`).Inc()
+		<-fl.ready
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		f.reg.Counter("cluster_select_cache_hits_total").Inc()
+		return append([]netsearch.RankedDB(nil), fl.val...), nil
+	}
+	f.reg.Counter("cluster_select_cache_misses_total").Inc()
+	fulfilled := false
+	defer func() {
+		// A panicking leader must still fulfill, or its followers would
+		// block forever on a flight nobody owns.
+		if r := recover(); r != nil {
+			if !fulfilled {
+				f.cache.fulfill(key, fl, nil, fmt.Errorf("cluster: rank panicked: %v", r))
+			}
+			panic(r)
+		}
+	}()
+	val, err := f.rankScatter(query, alg, k, trace)
+	f.cache.fulfill(key, fl, val, err)
+	fulfilled = true
+	if err != nil {
+		return nil, err
+	}
+	return append([]netsearch.RankedDB(nil), val...), nil
+}
+
+// rankScatter is the uncached scatter-gather core behind Rank.
+func (f *Front) rankScatter(query, alg string, k int, trace string) ([]netsearch.RankedDB, error) {
 	defer f.reg.Timer("cluster_scatter_seconds")()
 	partials, err := parallel.Map(len(f.reps), f.reps, func(slot int, _ []*replica) ([]netsearch.RankedDB, error) {
 		return f.rankSlot(slot, query, alg, k, trace)
@@ -248,10 +309,36 @@ func (f *Front) Rank(query, alg string, k int, trace string) ([]netsearch.Ranked
 // Rank does — same uniform weights, same tie-break, so a batched query's
 // ranking is bit-identical to ranking it alone. The fan-out cost (slot
 // RPCs, failover bookkeeping, merge scratch) is paid once per batch
-// instead of once per query. Per-query problems (no index terms) ride in
-// the matching item's Error; a cold federation is a whole-batch
-// ErrNoModels, mirroring the single-query path.
+// instead of once per query; duplicate queries within the batch scatter
+// and fuse once, with every original position receiving a copy
+// (cluster_rank_coalesced_total{scope="batch"}). Per-query problems (no
+// index terms) ride in the matching item's Error; a cold federation is a
+// whole-batch ErrNoModels, mirroring the single-query path.
 func (f *Front) RankBatch(queries []string, alg string, k int, trace string) ([]netsearch.RankedBatch, error) {
+	uniq, pos := dedupQueries(queries)
+	if dups := len(queries) - len(uniq); dups > 0 {
+		f.reg.Counter(`cluster_rank_coalesced_total{scope="batch"}`).Add(int64(dups))
+	}
+	items, err := f.rankBatchUnique(uniq, alg, k, trace)
+	if err != nil {
+		return nil, err
+	}
+	if len(uniq) == len(queries) {
+		return items, nil
+	}
+	out := make([]netsearch.RankedBatch, len(queries))
+	for i, u := range pos {
+		out[i].Error = items[u].Error
+		if items[u].Ranked != nil {
+			out[i].Ranked = append([]netsearch.RankedDB(nil), items[u].Ranked...)
+		}
+	}
+	return out, nil
+}
+
+// rankBatchUnique is the scatter-fuse core behind RankBatch, operating on
+// an already-deduplicated query list.
+func (f *Front) rankBatchUnique(queries []string, alg string, k int, trace string) ([]netsearch.RankedBatch, error) {
 	defer f.reg.Timer("cluster_scatter_batch_seconds")()
 	partials, err := parallel.Map(len(f.reps), f.reps, func(slot int, _ []*replica) ([]netsearch.RankedBatch, error) {
 		return f.rankSlotBatch(slot, queries, alg, k, trace)
@@ -394,6 +481,11 @@ func (f *Front) callSlot(slot int, op func(c *netsearch.Client) error) error {
 			// Marked by the shard as the client's mistake: deterministic
 			// across replicas, so do not burn failovers or health on it.
 			return classified
+		}
+		if errors.Is(err, netsearch.ErrStreamCanceled) {
+			// The stream's consumer tore it down; the replica did nothing
+			// wrong. No failover, no health penalty.
+			return err
 		}
 		f.recordFailure(r, err)
 		lastErr = err

@@ -20,6 +20,10 @@ import (
 //	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB (scatter-gathered)
 //	POST   /rank/batch                     {"queries":[...],"alg":"cori","k":5}
 //	                                       -> {"results":[{"ranked":[...]}...]}
+//	POST   /rank/batch?stream=1            same body -> NDJSON frames, one
+//	                                       fused item per query as every
+//	                                       slot delivers it (SSE with
+//	                                       Accept: text/event-stream)
 //	POST   /databases                      {"name":"x","addr":"host:port"}
 //	                                       (routed to the owning slot's replicas)
 //	DELETE /databases/{name}               (routed likewise)
@@ -104,6 +108,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streamed responses (POST
+// /rank/batch?stream=1) push each frame through the middleware instead of
+// buffering until the handler returns.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -213,12 +226,48 @@ func (f *Front) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	if k != req.K {
 		w.Header().Set("X-Degraded-K", strconv.Itoa(k))
 	}
+	if service.WantStream(r) {
+		f.streamRankBatch(w, r, req, k, k != req.K)
+		return
+	}
 	items, err := f.RankBatch(req.Queries, req.Alg, k, r.Header.Get("X-Trace-Id"))
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, batchRankResponse{Results: items, Degraded: k != req.K})
+}
+
+// streamRankBatch serves one POST /rank/batch?stream=1 request on the
+// front, reusing the service tier's StreamWriter so both surfaces speak
+// one frame format. The admission ticket's deferred Release fires after
+// the last flush.
+func (f *Front) streamRankBatch(w http.ResponseWriter, r *http.Request, req batchRankRequest, k int, degraded bool) {
+	sw := service.NewStreamWriter(w, r)
+	ctx := r.Context()
+	results := 0
+	err := f.RankBatchStream(req.Queries, req.Alg, k, r.Header.Get("X-Trace-Id"), func(i int, item netsearch.RankedBatch) error {
+		if cerr := ctx.Err(); cerr != nil {
+			// Wrap the sentinel so the slot teardown skips failover and
+			// health penalties all the way down.
+			return fmt.Errorf("%w: %v", netsearch.ErrStreamCanceled, cerr)
+		}
+		results++
+		return sw.Item(i, item.Ranked, item.Error)
+	})
+	if err != nil {
+		if !sw.Started() {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		f.reg.Counter("cluster_stream_aborts_total").Inc()
+		return
+	}
+	if err := sw.Done(results, degraded); err != nil {
+		f.reg.Counter("cluster_stream_aborts_total").Inc()
+		return
+	}
+	f.reg.Counter("cluster_stream_ranks_total").Inc()
 }
 
 func (f *Front) handleDatabases(w http.ResponseWriter, r *http.Request) {
@@ -274,6 +323,11 @@ func (f *Front) handleDatabase(w http.ResponseWriter, r *http.Request) {
 // idempotent and a retry heals a previous partial failure instead of
 // conflicting with it.
 func (f *Front) registerOnSlot(slot int, name, addr string) error {
+	// Any registration attempt — even a failed one, which may have changed
+	// some replicas — moves the topology epoch, invalidating the front's
+	// result cache wholesale. Invalidation is cheap; serving a fused
+	// ranking that predates a placement change is not.
+	defer f.epoch.Add(1)
 	for _, r := range f.reps[slot] {
 		c, err := f.connect(r)
 		if err != nil {
@@ -300,6 +354,7 @@ func (f *Front) registerOnSlot(slot int, name, addr string) error {
 // answer 404; one replica knowing it means a previous partial state is
 // being healed.
 func (f *Front) unregisterOnSlot(slot int, name string) error {
+	defer f.epoch.Add(1) // see registerOnSlot
 	unknown := 0
 	for _, r := range f.reps[slot] {
 		c, err := f.connect(r)

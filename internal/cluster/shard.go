@@ -112,6 +112,44 @@ func (sh *Shard) RankDBsBatch(queries []string, alg string, k int) ([]netsearch.
 	return out, nil
 }
 
+// RankDBsStream implements netsearch.StreamBatchRanker: the shard-local
+// half of a scattered streaming batch. Each item is emitted the moment the
+// service ranks it, so the front's fused stream never waits on the whole
+// shard batch. The conventions carry over from RankDBsBatch: a cold shard
+// answers every query with an empty partial (emitted only after the
+// whole-batch check, which the service runs before its first emit), and
+// invalid arguments come back marked so the front fails fast without
+// failover.
+func (sh *Shard) RankDBsStream(queries []string, alg string, k int, emit func(i int, item netsearch.RankedBatch) error) error {
+	err := sh.svc.RankBatchStream(queries, alg, k, func(i int, it service.BatchItem) error {
+		out := netsearch.RankedBatch{Error: it.Error}
+		if it.Ranked != nil {
+			out.Ranked = make([]netsearch.RankedDB, len(it.Ranked))
+			for j, r := range it.Ranked {
+				out.Ranked[j] = netsearch.RankedDB{Name: r.Name, Score: r.Score}
+			}
+		}
+		return emit(i, out)
+	})
+	if err != nil {
+		if errors.Is(err, service.ErrNoModels) {
+			// Cold shard: contribute empty partials. ErrNoModels is raised
+			// before the service's first emit, so no item has gone out yet.
+			for i := range queries {
+				if eerr := emit(i, netsearch.RankedBatch{}); eerr != nil {
+					return eerr
+				}
+			}
+			return nil
+		}
+		if errors.Is(err, service.ErrInvalid) {
+			return errors.New(markInvalid + err.Error())
+		}
+		return err
+	}
+	return nil
+}
+
 // RegisterDB implements netsearch.Registrar.
 func (sh *Shard) RegisterDB(name, addr string) error {
 	err := sh.svc.Register(name, addr)
@@ -141,6 +179,7 @@ func (sh *Shard) UnregisterDB(name string) error {
 var _ core.Database = (*Shard)(nil)
 var _ netsearch.DBRanker = (*Shard)(nil)
 var _ netsearch.BatchDBRanker = (*Shard)(nil)
+var _ netsearch.StreamBatchRanker = (*Shard)(nil)
 var _ netsearch.Registrar = (*Shard)(nil)
 
 // classify re-attaches the service sentinel matching a marked wire error,

@@ -1,0 +1,246 @@
+package cluster
+
+// Streaming scatter-gather (DESIGN.md §15). The buffered RankBatch waits
+// for every slot's whole batch before fusing anything, so the client's
+// first byte arrives after the slowest slot finishes its slowest query.
+// RankBatchStream instead opens one "rankstream" exchange per slot, lets a
+// reader goroutine buffer each slot's items as frames arrive, and fuses
+// inline in input order: query i's fused ranking is emitted as soon as
+// every slot has delivered *its* item i — queries i+1… may still be
+// computing anywhere. Shards emit in input order too, so the gather never
+// waits on an item it will not need next, and time-to-first-result is one
+// query's scatter latency instead of the batch's.
+//
+// Duplicate queries within the batch collapse before the scatter: each
+// unique query travels (and fuses) once, and every original position gets
+// a copy (cluster_rank_coalesced_total{scope="batch"}).
+//
+// Divergence from the buffered path, by necessity: a federation with no
+// models reports per-item errors here (each wrapping ErrNoModels' text)
+// rather than a whole-batch 503 — streaming cannot wait to see every item
+// before answering the first. Invalid-argument refusals still fail the
+// whole batch before the first emit, because every slot refuses the same
+// way and slot errors surface on the first wait.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsearch"
+	"repro/internal/parallel"
+	"repro/internal/selection"
+	"repro/internal/service"
+)
+
+// dedupQueries returns the unique queries in first-appearance order and,
+// per original position, the index of its unique query.
+func dedupQueries(queries []string) (uniq []string, pos []int) {
+	pos = make([]int, len(queries))
+	idx := make(map[string]int, len(queries))
+	for i, q := range queries {
+		u, ok := idx[q]
+		if !ok {
+			u = len(uniq)
+			uniq = append(uniq, q)
+			idx[q] = u
+		}
+		pos[i] = u
+	}
+	return uniq, pos
+}
+
+// slotStream buffers one slot's arriving rank stream for the inline fuser.
+// There is no backpressure by design: a batch is bounded by
+// service.MaxBatchQueries, so buffering all items costs less than stalling
+// the shard's stream behind the slowest sibling slot.
+type slotStream struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []netsearch.RankedBatch
+	have     []bool
+	done     bool
+	err      error // terminal scatter failure, set by finish
+	canceled bool
+}
+
+func newSlotStream(n int) *slotStream {
+	ss := &slotStream{
+		items: make([]netsearch.RankedBatch, n),
+		have:  make([]bool, n),
+	}
+	ss.cond = sync.NewCond(&ss.mu)
+	return ss
+}
+
+// put records one arriving item. A duplicate index (a transport retry
+// replaying the stream) keeps the first delivery — replicas serve
+// identical models, so the replay is bit-identical anyway. Once the
+// consumer has canceled, put refuses with ErrStreamCanceled, which aborts
+// the client's stream at its next frame.
+func (ss *slotStream) put(i int, item netsearch.RankedBatch) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.canceled {
+		return netsearch.ErrStreamCanceled
+	}
+	if i < 0 || i >= len(ss.items) {
+		return fmt.Errorf("cluster: stream item index %d out of range [0,%d)", i, len(ss.items))
+	}
+	if !ss.have[i] {
+		ss.items[i] = item
+		ss.have[i] = true
+		ss.cond.Broadcast()
+	}
+	return nil
+}
+
+// finish marks the slot's stream over; a non-nil err is the scatter
+// failure waiters for undelivered items will see.
+func (ss *slotStream) finish(err error) {
+	ss.mu.Lock()
+	ss.done = true
+	ss.err = err
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+// cancel poisons the stream: waiters unblock and the reader's next put
+// aborts its RPC.
+func (ss *slotStream) cancel() {
+	ss.mu.Lock()
+	ss.canceled = true
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+}
+
+// wait blocks until item i arrives. An item that was delivered before the
+// stream ended is still served after done — failure only poisons what it
+// actually prevented.
+func (ss *slotStream) wait(i int) (netsearch.RankedBatch, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for {
+		if ss.have[i] {
+			return ss.items[i], nil
+		}
+		if ss.done {
+			if ss.err != nil {
+				return netsearch.RankedBatch{}, ss.err
+			}
+			return netsearch.RankedBatch{}, fmt.Errorf("cluster: slot stream ended before item %d", i)
+		}
+		if ss.canceled {
+			return netsearch.RankedBatch{}, netsearch.ErrStreamCanceled
+		}
+		//lint:ignore lockheld sync.Cond.Wait atomically releases ss.mu while blocked and reacquires it before returning — the canonical condvar wait, not I/O under a lock
+		ss.cond.Wait()
+	}
+}
+
+// RankBatchStream is RankBatch's streaming twin: emit receives each
+// query's fused ranking, in input order, as soon as every slot has
+// delivered its partial for that query. A non-nil error from emit cancels
+// the scatter (every slot's stream is torn down without failover or
+// health penalty) and is returned as-is. Whole-batch refusals surface
+// before the first emit. See the package comment above for the documented
+// divergences from the buffered path.
+func (f *Front) RankBatchStream(queries []string, alg string, k int, trace string, emit func(i int, item netsearch.RankedBatch) error) error {
+	defer f.reg.Timer("cluster_scatter_stream_seconds")()
+	uniq, pos := dedupQueries(queries)
+	if dups := len(queries) - len(uniq); dups > 0 {
+		f.reg.Counter(`cluster_rank_coalesced_total{scope="batch"}`).Add(int64(dups))
+	}
+	streams := make([]*slotStream, len(f.reps))
+	for i := range streams {
+		streams[i] = newSlotStream(len(uniq))
+	}
+	readers := parallel.NewGroup(len(f.reps))
+	for slot := range f.reps {
+		slot, ss := slot, streams[slot]
+		readers.Go(func() error {
+			err := f.callSlot(slot, func(c *netsearch.Client) error {
+				return c.RankDBsStream(uniq, alg, k, trace, ss.put)
+			})
+			// The scatter outcome travels to the fuser through the stream,
+			// not the group: wait() hands it to exactly the items it hurt.
+			ss.finish(err)
+			return nil
+		})
+	}
+	// However this returns, poison every slot stream (so still-running RPCs
+	// abort at their next frame) and join the readers — no goroutine may
+	// outlive the request that spawned it.
+	defer func() {
+		for _, ss := range streams {
+			ss.cancel()
+		}
+		//lint:ignore errsink reader errors were already routed through slotStream.finish; Wait only joins
+		readers.Wait()
+	}()
+
+	// Fusion scratch, recycled across unique queries (same shapes as the
+	// buffered RankBatch).
+	lists := make([][]selection.DocScore, len(streams))
+	weights := make([]float64, len(streams))
+	for i := range weights {
+		weights[i] = 1
+	}
+	var fused []selection.MergedHit
+	partials := make([]netsearch.RankedBatch, len(streams))
+	fusedByUniq := make([][]netsearch.RankedDB, len(uniq))
+	errByUniq := make([]string, len(uniq))
+	fusedDone := make([]bool, len(uniq))
+	for i := range queries {
+		u := pos[i]
+		if !fusedDone[u] {
+			itemErr := ""
+			total := 0
+			for slot, ss := range streams {
+				it, err := ss.wait(u)
+				if err != nil {
+					return err
+				}
+				partials[slot] = it
+				if it.Error != "" {
+					// Deterministic per-query refusal: every slot tokenizes
+					// the same way, so any slot's report stands for all.
+					itemErr = it.Error
+				}
+				list := lists[slot][:0]
+				for j, r := range it.Ranked {
+					list = append(list, selection.DocScore{Doc: j, Score: r.Score})
+				}
+				lists[slot] = list
+				total += len(it.Ranked)
+			}
+			switch {
+			case itemErr != "":
+				errByUniq[u] = itemErr
+			case total == 0:
+				errByUniq[u] = fmt.Sprintf("cluster: %v", service.ErrNoModels)
+			default:
+				var err error
+				fused, err = selection.MergeWeightedInto(fused[:0], lists, weights, k)
+				if err != nil {
+					// Unreachable by construction (lists and weights are
+					// parallel); surfaced rather than swallowed all the same.
+					return fmt.Errorf("cluster: fuse: %w", err)
+				}
+				ranked := make([]netsearch.RankedDB, len(fused))
+				for j, h := range fused {
+					ranked[j] = netsearch.RankedDB{Name: partials[h.DB].Ranked[h.Doc].Name, Score: h.Score}
+				}
+				fusedByUniq[u] = ranked
+			}
+			fusedDone[u] = true
+		}
+		item := netsearch.RankedBatch{Error: errByUniq[u]}
+		if item.Error == "" {
+			item.Ranked = append([]netsearch.RankedDB(nil), fusedByUniq[u]...)
+		}
+		if err := emit(i, item); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package cluster
+
+// Tests for the streaming scatter-gather path (DESIGN.md §15): the fused
+// stream must be bit-identical to the buffered batch (which is itself
+// pinned to the single-query path), legacy shards must keep working via
+// the netsearch server's fallback chain, client aborts must tear the
+// scatter down without failover or health penalties, and the front cache
+// must hit, coalesce, and invalidate on topology epochs.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/netsearch"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// collectStream runs RankBatchStream and records every emitted item with
+// its index, verifying in-order delivery.
+func collectStream(t *testing.T, f *Front, queries []string, alg string, k int) []netsearch.RankedBatch {
+	t.Helper()
+	items := make([]netsearch.RankedBatch, 0, len(queries))
+	err := f.RankBatchStream(queries, alg, k, "", func(i int, item netsearch.RankedBatch) error {
+		if i != len(items) {
+			return fmt.Errorf("item %d arrived out of order (want %d)", i, len(items))
+		}
+		items = append(items, item)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RankBatchStream: %v", err)
+	}
+	return items
+}
+
+// TestFrontStreamMatchesBatch: streamed fusion over the real wire must be
+// bit-identical to the buffered RankBatch — same partials, same weights,
+// same tie-break — with duplicate queries collapsing before the scatter.
+func TestFrontStreamMatchesBatch(t *testing.T) {
+	f, dbs := sampledCluster(t, 2)
+	terms := experiments.TopicalTerms(dbs[0], dbs, 4)
+	queries := []string{
+		terms[0] + " " + terms[1],
+		terms[2],
+		terms[0] + " " + terms[1], // duplicate: must fuse once, emit twice
+		"the and of",              // per-item error must stream too
+		terms[3],
+	}
+	coalesced := f.reg.Counter(`cluster_rank_coalesced_total{scope="batch"}`)
+	before := coalesced.Value()
+	for _, alg := range []string{"cori", "gloss-sum"} {
+		got := collectStream(t, f, queries, alg, 3)
+		want, err := f.RankBatch(queries, alg, 3, "")
+		if err != nil {
+			t.Fatalf("RankBatch(%s): %v", alg, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d streamed items, %d buffered", alg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Error != want[i].Error {
+				t.Fatalf("%s item %d: streamed error %q, buffered %q", alg, i, got[i].Error, want[i].Error)
+			}
+			if len(got[i].Ranked) != len(want[i].Ranked) {
+				t.Fatalf("%s item %d: %d rows vs %d buffered", alg, i, len(got[i].Ranked), len(want[i].Ranked))
+			}
+			for j := range want[i].Ranked {
+				if got[i].Ranked[j].Name != want[i].Ranked[j].Name ||
+					math.Float64bits(got[i].Ranked[j].Score) != math.Float64bits(want[i].Ranked[j].Score) {
+					t.Fatalf("%s item %d row %d: streamed %+v != buffered %+v",
+						alg, i, j, got[i].Ranked[j], want[i].Ranked[j])
+				}
+			}
+		}
+	}
+	// One duplicate per run, two algorithms, stream + buffered each: 4.
+	if got := coalesced.Value() - before; got != 4 {
+		t.Errorf(`scope="batch" coalesce counter grew %d, want 4`, got)
+	}
+}
+
+// TestFrontStreamLegacyShardFallback: stub shards implement only the
+// per-query DBRanker, so the netsearch server answers "rankstream" by
+// looping — an old shard keeps working behind a streaming front.
+func TestFrontStreamLegacyShardFallback(t *testing.T) {
+	s0 := &stubShard{partial: []netsearch.RankedDB{{Name: "db-a", Score: 0.9}, {Name: "db-c", Score: 0.2}}}
+	s1 := &stubShard{partial: []netsearch.RankedDB{{Name: "db-b", Score: 0.5}}}
+	f := newTestFront(t, [][]string{{serveStub(t, s0)}, {serveStub(t, s1)}}, telemetry.NewRegistry())
+
+	got := collectStream(t, f, []string{"apple pie", "plum"}, "cori", 2)
+	want, err := f.RankBatch([]string{"apple pie", "plum"}, "cori", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Error != want[i].Error || len(got[i].Ranked) != len(want[i].Ranked) {
+			t.Fatalf("item %d: streamed %+v, buffered %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Ranked {
+			if got[i].Ranked[j] != want[i].Ranked[j] {
+				t.Errorf("item %d row %d: %+v != %+v", i, j, got[i].Ranked[j], want[i].Ranked[j])
+			}
+		}
+	}
+}
+
+// TestFrontStreamColdFederation: the documented divergence — a federation
+// with no models streams per-item errors (each wrapping ErrNoModels' text)
+// instead of the buffered path's whole-batch refusal.
+func TestFrontStreamColdFederation(t *testing.T) {
+	s0, s1 := &stubShard{}, &stubShard{}
+	f := newTestFront(t, [][]string{{serveStub(t, s0)}, {serveStub(t, s1)}}, telemetry.NewRegistry())
+
+	items := collectStream(t, f, []string{"a", "b"}, "cori", 5)
+	for i, it := range items {
+		if it.Error == "" || !strings.Contains(it.Error, service.ErrNoModels.Error()) {
+			t.Errorf("cold item %d = %+v, want a no-models error", i, it)
+		}
+	}
+}
+
+// TestFrontStreamBadAlgFailsWholeBatch: an invalid-argument refusal
+// surfaces before the first emit, classifies to ErrInvalid, and burns no
+// replica health.
+func TestFrontStreamBadAlgFailsWholeBatch(t *testing.T) {
+	f, _ := sampledCluster(t, 1)
+	emitted := 0
+	err := f.RankBatchStream([]string{"data", "more data"}, "bogus-alg", 0, "", func(int, netsearch.RankedBatch) error {
+		emitted++
+		return nil
+	})
+	if !errors.Is(err, service.ErrInvalid) {
+		t.Errorf("bad-algorithm stream error = %v, want service.ErrInvalid", err)
+	}
+	if emitted != 0 {
+		t.Errorf("%d items emitted before the whole-batch refusal", emitted)
+	}
+	if h := f.Health(); h[0].ConsecutiveFailures != 0 {
+		t.Errorf("client mistake booked as replica failure: %+v", h[0])
+	}
+}
+
+// TestFrontStreamEmitAbortNoFailover: a consumer abort (the HTTP layer's
+// client hung up) cancels the scatter mid-stream — the abort error comes
+// back as-is and the torn-down RPCs cost the replicas no health.
+func TestFrontStreamEmitAbortNoFailover(t *testing.T) {
+	f, dbs := sampledCluster(t, 2)
+	terms := experiments.TopicalTerms(dbs[0], dbs, 3)
+	queries := []string{terms[0], terms[1], terms[2]}
+	abort := fmt.Errorf("%w: client hung up", netsearch.ErrStreamCanceled)
+	err := f.RankBatchStream(queries, "cori", 2, "", func(i int, item netsearch.RankedBatch) error {
+		if i == 0 {
+			return abort
+		}
+		return nil
+	})
+	if !errors.Is(err, netsearch.ErrStreamCanceled) {
+		t.Fatalf("aborted stream error = %v, want ErrStreamCanceled", err)
+	}
+	for _, h := range f.Health() {
+		if h.ConsecutiveFailures != 0 {
+			t.Errorf("caller abort penalized replica health: %+v", h)
+		}
+	}
+	// The fabric must still serve: the teardown may not have wedged a
+	// connection or marked a replica down.
+	if _, err := f.Rank(queries[0], "cori", 2, ""); err != nil {
+		t.Fatalf("rank after aborted stream: %v", err)
+	}
+}
+
+// TestFrontHTTPRankBatchStream: NDJSON over the front's HTTP surface, done
+// frame included.
+func TestFrontHTTPRankBatchStream(t *testing.T) {
+	f, dbs := sampledCluster(t, 2)
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+	terms := experiments.TopicalTerms(dbs[0], dbs, 2)
+
+	queries := []string{terms[0] + " " + terms[1], "the and of"}
+	body, err := json.Marshal(batchRankRequest{Queries: queries, Alg: "cori", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/rank/batch?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	type frame struct {
+		Index   int                  `json:"index"`
+		Ranked  []netsearch.RankedDB `json:"ranked"`
+		Error   string               `json:"error"`
+		Done    bool                 `json:"done"`
+		Results int                  `json:"results"`
+	}
+	var frames []frame
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var fr frame
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, fr)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 2 items + done", len(frames))
+	}
+	if frames[0].Index != 0 || len(frames[0].Ranked) == 0 {
+		t.Errorf("frame 0: %+v", frames[0])
+	}
+	if frames[1].Index != 1 || frames[1].Error == "" {
+		t.Errorf("frame 1 should carry the stopword error: %+v", frames[1])
+	}
+	if !frames[2].Done || frames[2].Results != 2 {
+		t.Errorf("done frame: %+v", frames[2])
+	}
+
+	// Whole-batch errors stay plain JSON with the buffered status.
+	resp2 := postJSON(t, ts.URL+"/rank/batch?stream=1", batchRankRequest{Alg: "cori"}, nil)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty streamed batch: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestFrontCacheHitsAndEpochInvalidation: with Options.CacheSize set, a
+// repeated query is served without a scatter; any register/unregister
+// routed through the front bumps its topology epoch and invalidates.
+func TestFrontCacheHitsAndEpochInvalidation(t *testing.T) {
+	s := &stubShard{partial: []netsearch.RankedDB{{Name: "db-a", Score: 0.9}}}
+	reg := telemetry.NewRegistry()
+	f, err := NewFront([][]string{{serveStub(t, s)}}, Options{Metrics: reg, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	hits := reg.Counter("cluster_select_cache_hits_total")
+	misses := reg.Counter("cluster_select_cache_misses_total")
+
+	first, err := f.Rank("apple", "cori", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() != 0 || misses.Value() != 1 {
+		t.Fatalf("first rank: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	calls := s.calls()
+	second, err := f.Rank("apple", "cori", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() != 1 || s.calls() != calls {
+		t.Fatalf("second rank: hits=%d, shard calls %d -> %d (want no scatter)", hits.Value(), calls, s.calls())
+	}
+	if len(first) != len(second) || first[0] != second[0] {
+		t.Fatalf("cache hit differs: %+v vs %+v", first, second)
+	}
+	// Returned slices are copies, not the cache's backing array.
+	second[0].Name = "mutated"
+	if again, _ := f.Rank("apple", "cori", 2, ""); again[0].Name != "db-a" {
+		t.Fatal("caller mutation reached the front cache")
+	}
+
+	// A registration routed through this front bumps the epoch: the same
+	// query misses and scatters again.
+	if err := f.registerOnSlot(0, "db-new", "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := misses.Value()
+	if _, err := f.Rank("apple", "cori", 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if misses.Value() != missesBefore+1 {
+		t.Fatalf("post-register rank did not miss: misses=%d, want %d", misses.Value(), missesBefore+1)
+	}
+	// So does an unregister — even though the entry count is unchanged.
+	if err := f.unregisterOnSlot(0, "db-new"); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore = misses.Value()
+	if _, err := f.Rank("apple", "cori", 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if misses.Value() != missesBefore+1 {
+		t.Fatalf("post-unregister rank did not miss: misses=%d, want %d", misses.Value(), missesBefore+1)
+	}
+}
+
+// TestFrontCacheFlightErrors: a failed scatter reaches only the followers
+// already waiting on it — never the LRU, never a later caller.
+func TestFrontCacheFlightErrors(t *testing.T) {
+	c := newFrontCache(4)
+	key := frontCacheKey{query: "q", alg: "cori", k: 2}
+	fl, leader := c.join(key)
+	if !leader {
+		t.Fatal("first join not leader")
+	}
+	c.fulfill(key, fl, nil, errors.New("scatter failed"))
+	if _, ok := c.probe(key); ok {
+		t.Fatal("errored scatter was cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after an error, want 0", c.Len())
+	}
+	if _, leader := c.join(key); !leader {
+		t.Fatal("failed flight stayed joinable")
+	}
+}

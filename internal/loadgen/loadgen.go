@@ -13,6 +13,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/randx"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes one load run.
@@ -50,6 +52,18 @@ type Config struct {
 	// Batch > 1 sends each request as POST /rank/batch carrying Batch
 	// queries; Batch <= 1 sends single GET /rank requests.
 	Batch int `json:"batch,omitempty"`
+	// Stream sends each batch as POST /rank/batch?stream=1 and reads the
+	// NDJSON frames, recording time-to-first-result per request. Requires
+	// Batch > 1.
+	Stream bool `json:"stream,omitempty"`
+	// DupRate in (0,1] makes each query a draw from a 16-query hot pool
+	// with this probability instead of a fresh Zipf draw — the workload
+	// that exercises within-batch and cross-caller coalescing. 0 (the
+	// default) leaves the classic workload byte-identical to before the
+	// knob existed. The pool is seeded from fork 0 of the workload stream,
+	// which the per-request forks (g+1) never touch, so a dup-rate run is
+	// as replayable as any other.
+	DupRate float64 `json:"dup_rate,omitempty"`
 	// Alg and K are passed through to the rank API.
 	Alg string `json:"alg,omitempty"`
 	K   int    `json:"k,omitempty"`
@@ -130,6 +144,18 @@ type Report struct {
 	P50us          float64 `json:"p50_us"`
 	P95us          float64 `json:"p95_us"`
 	P99us          float64 `json:"p99_us"`
+	// TTFR percentiles (time to first streamed result) are populated in
+	// stream mode only; for a buffered batch first byte ≈ last byte, so the
+	// whole-request latency above already is the TTFR.
+	TTFRP50us float64 `json:"ttfr_p50_us,omitempty"`
+	TTFRP95us float64 `json:"ttfr_p95_us,omitempty"`
+	TTFRP99us float64 `json:"ttfr_p99_us,omitempty"`
+	// CoalescedBatch/CoalescedFlight total the target's
+	// rank_coalesced_total{scope=batch|flight} counters after the run
+	// (whichever tier prefix the target exposes), 0 when the target has no
+	// metrics endpoint.
+	CoalescedBatch  int64 `json:"coalesced_batch,omitempty"`
+	CoalescedFlight int64 `json:"coalesced_flight,omitempty"`
 	// Metrics carries the headline numbers keyed for the benchdiff gate:
 	// loadgen/<label>/qps and loadgen/<label>/p99_us.
 	Metrics map[string]Metric `json:"metrics"`
@@ -138,11 +164,23 @@ type Report struct {
 	Server json.RawMessage `json:"server,omitempty"`
 }
 
+// hotPoolSize is the size of the shared hot query pool DupRate draws
+// from: small enough that duplicates collide constantly, large enough
+// that the pool is not one query.
+const hotPoolSize = 16
+
 // queriesFor builds request g's queries — a pure function of the config,
-// so the workload replays identically run over run.
+// so the workload replays identically run over run. With DupRate set,
+// each position is (with that probability) a draw from the shared hot
+// pool instead — duplicates then appear both within a batch and across
+// concurrent requests, which is what the coalescing tiers feed on.
 func (c Config) queriesFor(g int) []string {
 	src := randx.New(c.Seed).Fork(uint64(g) + 1)
 	zipf := randx.NewZipf(src, c.ZipfS, 1, uint64(len(c.Vocab)-1))
+	var hot []string
+	if c.DupRate > 0 {
+		hot = c.hotQueries()
+	}
 	n := c.Batch
 	if n <= 1 {
 		n = 1
@@ -150,6 +188,10 @@ func (c Config) queriesFor(g int) []string {
 	queries := make([]string, n)
 	var sb strings.Builder
 	for i := range queries {
+		if hot != nil && src.Float64() < c.DupRate {
+			queries[i] = hot[src.Intn(len(hot))]
+			continue
+		}
 		sb.Reset()
 		for t := 0; t < c.Terms; t++ {
 			if t > 0 {
@@ -160,6 +202,26 @@ func (c Config) queriesFor(g int) []string {
 		queries[i] = sb.String()
 	}
 	return queries
+}
+
+// hotQueries builds the DupRate hot pool — a pure function of the config,
+// drawn from fork 0, which the per-request streams (forks g+1) never use.
+func (c Config) hotQueries() []string {
+	src := randx.New(c.Seed).Fork(0)
+	zipf := randx.NewZipf(src, c.ZipfS, 1, uint64(len(c.Vocab)-1))
+	pool := make([]string, hotPoolSize)
+	var sb strings.Builder
+	for i := range pool {
+		sb.Reset()
+		for t := 0; t < c.Terms; t++ {
+			if t > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(c.Vocab[zipf.Uint64()])
+		}
+		pool[i] = sb.String()
+	}
+	return pool
 }
 
 // Run executes the workload and returns its report. A shed response
@@ -174,6 +236,9 @@ func Run(cfg Config) (*Report, error) {
 	if len(cfg.Vocab) == 0 {
 		return nil, fmt.Errorf("loadgen: empty vocabulary")
 	}
+	if cfg.Stream && cfg.Batch <= 1 {
+		return nil, fmt.Errorf("loadgen: stream mode requires batch > 1")
+	}
 	client := &http.Client{Timeout: cfg.Timeout}
 
 	// One untimed warmup request dials connections and compiles the
@@ -183,6 +248,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	latencies := make([]float64, cfg.Requests) // seconds; index = request
+	ttfrs := make([]float64, cfg.Requests)     // seconds; stream mode only
 	status := make([]int, cfg.Requests)
 	errs := make([]error, cfg.Requests)
 	var done atomic.Int64
@@ -206,8 +272,9 @@ func Run(cfg Config) (*Report, error) {
 				}
 			}
 			t0 := time.Now()
-			code, _, err := issue(client, cfg, cfg.queriesFor(g))
+			code, ttfr, err := issue(client, cfg, cfg.queriesFor(g))
 			latencies[g] = time.Since(t0).Seconds()
+			ttfrs[g] = ttfr
 			status[g] = code
 			errs[g] = err
 			if cfg.OnProgress != nil {
@@ -234,6 +301,7 @@ func Run(cfg Config) (*Report, error) {
 		perReq = 1
 	}
 	ok := make([]float64, 0, cfg.Requests)
+	okTTFR := make([]float64, 0, cfg.Requests)
 	for g := 0; g < cfg.Requests; g++ {
 		switch {
 		case errs[g] != nil:
@@ -251,6 +319,7 @@ func Run(cfg Config) (*Report, error) {
 		default:
 			rep.Queries += perReq
 			ok = append(ok, latencies[g])
+			okTTFR = append(okTTFR, ttfrs[g])
 		}
 	}
 	if elapsed > 0 {
@@ -264,14 +333,33 @@ func Run(cfg Config) (*Report, error) {
 		"loadgen/" + cfg.Label + "/qps":    {Value: rep.QPS, Unit: "qps", HigherIsBetter: true},
 		"loadgen/" + cfg.Label + "/p99_us": {Value: rep.P99us, Unit: "us"},
 	}
+	if cfg.Stream {
+		sort.Float64s(okTTFR)
+		rep.TTFRP50us = quantileUS(okTTFR, 0.50)
+		rep.TTFRP95us = quantileUS(okTTFR, 0.95)
+		rep.TTFRP99us = quantileUS(okTTFR, 0.99)
+		rep.Metrics["loadgen/"+cfg.Label+"/ttfr_us"] = Metric{Value: rep.TTFRP99us, Unit: "us"}
+	}
 	rep.Server = scrape(client, cfg.Target)
+	if rep.Server != nil {
+		var snap telemetry.Snapshot
+		if json.Unmarshal(rep.Server, &snap) == nil {
+			rep.CoalescedBatch = snap.CounterSum(`rank_coalesced_total{scope="batch"}`)
+			rep.CoalescedFlight = snap.CounterSum(`rank_coalesced_total{scope="flight"}`)
+		}
+	}
 	return rep, nil
 }
 
-// issue sends one request — a single GET /rank or a POST /rank/batch —
-// and fully drains the response so connections are reused. The status
-// code is the outcome; only transport failures are errors here.
-func issue(client *http.Client, cfg Config, queries []string) (int, []byte, error) {
+// issue sends one request — a single GET /rank, a POST /rank/batch, or a
+// streamed batch — and fully drains the response so connections are
+// reused. The status code is the outcome; only transport failures (and,
+// in stream mode, protocol violations) are errors here. The second return
+// is the time to first streamed result in seconds, 0 outside stream mode.
+func issue(client *http.Client, cfg Config, queries []string) (int, float64, error) {
+	if cfg.Stream && cfg.Batch > 1 {
+		return issueStream(client, cfg, queries)
+	}
 	var resp *http.Response
 	var err error
 	if cfg.Batch > 1 {
@@ -279,7 +367,7 @@ func issue(client *http.Client, cfg Config, queries []string) (int, []byte, erro
 			"queries": queries, "alg": cfg.Alg, "k": cfg.K,
 		})
 		if merr != nil {
-			return 0, nil, merr
+			return 0, 0, merr
 		}
 		resp, err = client.Post(cfg.Target+"/rank/batch", "application/json", bytes.NewReader(payload))
 	} else {
@@ -287,15 +375,82 @@ func issue(client *http.Client, cfg Config, queries []string) (int, []byte, erro
 			"&alg=" + url.QueryEscape(cfg.Alg) + "&k=" + fmt.Sprint(cfg.K))
 	}
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, err
 	}
 	//lint:ignore errsink body close after a full drain is best effort; a broken connection fails the next request loudly
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return 0, nil, err
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		return 0, 0, err
 	}
-	return resp.StatusCode, body, nil
+	return resp.StatusCode, 0, nil
+}
+
+// issueStream sends one POST /rank/batch?stream=1 and validates the NDJSON
+// frame protocol as it reads: the clock for TTFR starts at the POST and
+// stops at the first frame; the stream must end with a done frame whose
+// results count matches the item frames seen, which must match the batch.
+func issueStream(client *http.Client, cfg Config, queries []string) (int, float64, error) {
+	payload, err := json.Marshal(map[string]any{
+		"queries": queries, "alg": cfg.Alg, "k": cfg.K,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(cfg.Target+"/rank/batch?stream=1", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, 0, err
+	}
+	//lint:ignore errsink body close after a full drain is best effort; a broken connection fails the next request loudly
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Pre-stream refusal (shed, bad request): a plain JSON body,
+		// drained best-effort so the connection can be reused.
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, 0, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ttfr float64
+	items, doneSeen := 0, false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if ttfr == 0 {
+			ttfr = time.Since(t0).Seconds()
+		}
+		var frame struct {
+			Done    bool `json:"done"`
+			Results int  `json:"results"`
+		}
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return resp.StatusCode, 0, fmt.Errorf("loadgen: bad stream frame %q: %w", line, err)
+		}
+		switch {
+		case frame.Done:
+			doneSeen = true
+			if frame.Results != items {
+				return resp.StatusCode, 0, fmt.Errorf(
+					"loadgen: stream done frame reports %d results, saw %d items", frame.Results, items)
+			}
+		case doneSeen:
+			return resp.StatusCode, 0, fmt.Errorf("loadgen: stream frame after done frame")
+		default:
+			items++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	if !doneSeen {
+		return resp.StatusCode, 0, fmt.Errorf("loadgen: stream ended without done frame")
+	}
+	if items != len(queries) {
+		return resp.StatusCode, 0, fmt.Errorf("loadgen: stream delivered %d items for %d queries", items, len(queries))
+	}
+	return resp.StatusCode, ttfr, nil
 }
 
 // scrape grabs the target's JSON metrics snapshot, best effort.

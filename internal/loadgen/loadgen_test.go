@@ -62,6 +62,88 @@ func TestRunClosedLoopSingleProcess(t *testing.T) {
 	}
 }
 
+// TestDupRateDeterministicAndDefaultUnchanged: dup-rate draws come from
+// dedicated RNG forks, so DupRate: 0 replays the exact default workload,
+// and a positive rate deterministically repeats hot-pool queries.
+func TestDupRateDeterministicAndDefaultUnchanged(t *testing.T) {
+	_, vocab := SyntheticModels(1, 0xbe7c)
+	base := Config{Seed: 42, Terms: 3, Batch: 8, Vocab: vocab}.withDefaults()
+	zero := Config{Seed: 42, Terms: 3, Batch: 8, Vocab: vocab, DupRate: 0}.withDefaults()
+	hot := Config{Seed: 42, Terms: 3, Batch: 8, Vocab: vocab, DupRate: 0.6}.withDefaults()
+	hotAgain := Config{Seed: 42, Terms: 3, Batch: 8, Vocab: vocab, DupRate: 0.6}.withDefaults()
+
+	pool := map[string]bool{}
+	for _, q := range hot.hotQueries() {
+		pool[q] = true
+	}
+	dups := 0
+	for g := 0; g < 32; g++ {
+		if !reflect.DeepEqual(base.queriesFor(g), zero.queriesFor(g)) {
+			t.Fatalf("request %d: DupRate 0 perturbed the default workload", g)
+		}
+		a, b := hot.queriesFor(g), hotAgain.queriesFor(g)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("request %d: same dup-rate seed produced different queries", g)
+		}
+		for _, q := range a {
+			if pool[q] {
+				dups++
+			}
+		}
+	}
+	// 32 requests x 8 queries at 60% hot-pool rate: duplication must be
+	// substantial, not incidental.
+	if dups < 64 {
+		t.Errorf("hot-pool queries appeared %d times across 256 draws, want >= 64", dups)
+	}
+}
+
+// TestRunStreamAgainstCluster: a streamed run must validate every frame,
+// record TTFR percentiles, report the ttfr_us benchdiff metric, and pull
+// the coalesce counters from the server snapshot.
+func TestRunStreamAgainstCluster(t *testing.T) {
+	d, err := Spawn(SpawnConfig{Shards: 2, DBs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	rep, err := Run(Config{
+		Target: d.URL, Vocab: d.Vocab, Label: "stream",
+		Requests: 12, Workers: 3, Batch: 6, K: 5, Seed: 7,
+		Stream: true, DupRate: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run had %d errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.Queries != 72 {
+		t.Errorf("queries = %d, want 12 requests x 6 batch = 72", rep.Queries)
+	}
+	if rep.TTFRP50us <= 0 || rep.TTFRP50us > rep.TTFRP99us {
+		t.Errorf("TTFR percentiles implausible: p50=%v p99=%v", rep.TTFRP50us, rep.TTFRP99us)
+	}
+	if rep.TTFRP99us > rep.P99us {
+		t.Errorf("TTFR p99 %.0fus exceeds whole-request p99 %.0fus", rep.TTFRP99us, rep.P99us)
+	}
+	if _, ok := rep.Metrics["loadgen/stream/ttfr_us"]; !ok {
+		t.Error("missing loadgen/stream/ttfr_us metric")
+	}
+	// At 50% dup-rate over 6-query batches, within-batch duplicates are
+	// near-certain across 12 requests; the front counts them.
+	if rep.CoalescedBatch == 0 {
+		t.Error("no batch-scope coalescing recorded despite hot-pool duplicates")
+	}
+}
+
+func TestRunStreamRequiresBatch(t *testing.T) {
+	if _, err := Run(Config{Target: "http://127.0.0.1:1", Stream: true, Requests: 1}); err == nil {
+		t.Error("stream mode without batch was accepted")
+	}
+}
+
 func TestRunBatchAgainstCluster(t *testing.T) {
 	d, err := Spawn(SpawnConfig{Shards: 2, DBs: 20})
 	if err != nil {

@@ -58,14 +58,29 @@ type request struct {
 	Trace   string   `json:"trace,omitempty"`
 }
 
-// response is one wire response.
+// response is one wire response. Most ops answer with exactly one; the
+// "rankstream" op answers with a frame sequence — one Item frame per query
+// as its ranking completes, terminated by an EOS frame (or an Error frame
+// for a whole-batch refusal). A stream with no terminal frame means the
+// connection died mid-flight.
 type response struct {
 	IDs    []int            `json:"ids,omitempty"`
 	Doc    *corpus.Document `json:"doc,omitempty"`
 	Count  *int             `json:"count,omitempty"`
 	Ranked []RankedDB       `json:"ranked,omitempty"`
 	Batch  []RankedBatch    `json:"batch,omitempty"`
+	Item   *streamItemFrame `json:"item,omitempty"`
+	EOS    bool             `json:"eos,omitempty"`
 	Error  string           `json:"error,omitempty"`
+}
+
+// streamItemFrame is one query's result inside a rankstream response
+// sequence. Index is the query's position in the request, so a fused
+// gather can stream shard results out of arrival order.
+type streamItemFrame struct {
+	Index  int        `json:"index"`
+	Ranked []RankedDB `json:"ranked,omitempty"`
+	Error  string     `json:"error,omitempty"`
 }
 
 // RankedDB is one database in a selection ranking carried over the wire —
@@ -97,6 +112,16 @@ type DBRanker interface {
 // implemented, so old shards keep working behind a new front.
 type BatchDBRanker interface {
 	RankDBsBatch(queries []string, alg string, k int) ([]RankedBatch, error)
+}
+
+// StreamBatchRanker matches servables that can rank a batch query by
+// query, emitting each item the moment it completes — the wire's streaming
+// tier (DESIGN.md §15). The server prefers it for "rankstream" requests
+// and degrades to BatchDBRanker (buffer, then emit) and DBRanker (rank one
+// by one) when only those are implemented, so any shard vintage can sit
+// behind a streaming front.
+type StreamBatchRanker interface {
+	RankDBsStream(queries []string, alg string, k int, emit func(i int, item RankedBatch) error) error
 }
 
 // Registrar matches servables whose database registry can be administered
@@ -233,6 +258,21 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // disconnect or garbage; drop the connection
 		}
+		if req.Op == "rankstream" {
+			// Multi-frame response: streamRank owns the encoder until its
+			// terminal frame, preserving the one-request/one-exchange shape
+			// the connection's framing depends on.
+			lg, reg := s.observers()
+			reg.Counter(`netsearch_server_requests_total{op="rankstream"}`).Inc()
+			if lg != nil {
+				lg.Debug("netsearch request",
+					"op", req.Op, telemetry.TraceKey, req.Trace)
+			}
+			if err := s.streamRank(req, enc, reg); err != nil {
+				return // encode failed; the frame stream is desynced
+			}
+			continue
+		}
 		resp := s.dispatch(req)
 		if lg, reg := s.observers(); lg != nil || reg != nil {
 			reg.Counter(`netsearch_server_requests_total{op="` + promSafe(req.Op) + `"}`).Inc()
@@ -255,10 +295,56 @@ func (s *Server) handle(conn net.Conn) {
 // cardinality.
 func promSafe(op string) string {
 	switch op {
-	case "search", "fetch", "count", "rank", "rankbatch", "register", "unregister":
+	case "search", "fetch", "count", "rank", "rankbatch", "rankstream", "register", "unregister":
 		return op
 	}
 	return "other"
+}
+
+// streamRank serves one "rankstream" request as a frame sequence on enc.
+// It prefers a StreamBatchRanker servable (true per-item streaming) and
+// degrades to BatchDBRanker or DBRanker so legacy shards still answer. A
+// returned error is always an encode failure: the caller must drop the
+// connection, because a half-written frame sequence cannot be resumed.
+// Whole-batch ranker errors become a terminal Error frame instead.
+func (s *Server) streamRank(req request, enc *json.Encoder, reg *telemetry.Registry) error {
+	emit := func(i int, item RankedBatch) error {
+		return enc.Encode(response{Item: &streamItemFrame{
+			Index: i, Ranked: item.Ranked, Error: item.Error,
+		}})
+	}
+	var err error
+	switch db := s.db.(type) {
+	case StreamBatchRanker:
+		err = db.RankDBsStream(req.Queries, req.Alg, req.N, emit)
+	case BatchDBRanker:
+		var batch []RankedBatch
+		batch, err = db.RankDBsBatch(req.Queries, req.Alg, req.N)
+		for i := 0; err == nil && i < len(batch); i++ {
+			err = emit(i, batch[i])
+		}
+	case DBRanker:
+		for i, q := range req.Queries {
+			item := RankedBatch{}
+			if ranked, rerr := db.RankDBs(q, req.Alg, req.N); rerr != nil {
+				item.Error = rerr.Error()
+			} else {
+				item.Ranked = ranked
+			}
+			if err = emit(i, item); err != nil {
+				return err
+			}
+		}
+	default:
+		err = errors.New("rankstream unsupported by this database")
+	}
+	if err != nil {
+		reg.Counter("netsearch_server_errors_total").Inc()
+		// If err was itself an encode failure this Encode fails too and the
+		// caller drops the connection — exactly right either way.
+		return enc.Encode(response{Error: err.Error()})
+	}
+	return enc.Encode(response{EOS: true})
 }
 
 func (s *Server) dispatch(req request) response {
@@ -499,6 +585,21 @@ type remoteError struct{ msg string }
 
 func (e remoteError) Error() string { return e.msg }
 
+// ErrStreamCanceled marks a rank stream the caller tore down mid-flight
+// (its emit callback refused a frame — typically because the HTTP client
+// disconnected). The abandoned connection is discarded, but the failure is
+// the caller's decision: it is never retried and a gather tier must not
+// count it against the shard's health.
+var ErrStreamCanceled = errors.New("netsearch: stream canceled by caller")
+
+// emitError wraps an error returned by a stream consumer's emit callback,
+// so the retry loop can tell "the caller gave up" (never retry, surface
+// the caller's error) from "the wire failed" (redial and retry).
+type emitError struct{ err error }
+
+func (e emitError) Error() string { return e.err.Error() }
+func (e emitError) Unwrap() error { return e.err }
+
 func (c *Client) roundTrip(req request) (response, error) {
 	// Per-op latency covers the whole operation as the caller sees it:
 	// lock wait, retries, backoff sleeps and redials included.
@@ -514,6 +615,15 @@ func (c *Client) roundTrip(req request) (response, error) {
 	if req.Trace == "" {
 		req.Trace = c.trace
 	}
+	//lint:ignore lockheld c.mu is the wire-serialization mechanism (one frame exchange at a time per client); the whole retry loop — backoff sleeps, redials, exchanges — runs under it by design so frames never interleave (DESIGN.md §8)
+	return c.retryLoop(req, func() (response, error) { return c.do(req) })
+}
+
+// retryLoop drives one operation through the redial-with-backoff policy.
+// Caller holds c.mu, has checked closed, and has stamped the trace;
+// exchange performs one full frame exchange (or stream) on the current
+// connection.
+func (c *Client) retryLoop(req request, exchange func() (response, error)) (response, error) {
 	policy := c.opts.Retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
@@ -525,7 +635,6 @@ func (c *Client) roundTrip(req request) (response, error) {
 					"op", req.Op, "attempt", attempt+1, "addr", c.addr,
 					telemetry.TraceKey, c.trace, "err", fmt.Sprint(lastErr))
 			}
-			//lint:ignore lockheld c.mu is the wire-serialization mechanism (one frame exchange at a time per client); backoff sleeping under it is the design — waiters are exactly the ops that must not interleave
 			c.sleep(policy.Delay(attempt-1, c.rng))
 		}
 		if c.broken || c.conn == nil {
@@ -535,15 +644,13 @@ func (c *Client) roundTrip(req request) (response, error) {
 				continue
 			}
 			if c.conn != nil {
-				//lint:ignore lockheld c.mu owns the connection being replaced; a concurrent op must not touch it mid-swap
 				c.conn.Close()
 			}
 			c.attach(conn)
 			c.stats.Redials++
 			c.opts.Metrics.Counter("netsearch_redials_total").Inc()
 		}
-		//lint:ignore lockheld c.mu serializes whole request/response exchanges — the frame protocol has no interleaving, so the I/O happens under the lock by design (DESIGN.md §8)
-		resp, err := c.do(req)
+		resp, err := exchange()
 		if err == nil {
 			return resp, nil
 		}
@@ -551,15 +658,23 @@ func (c *Client) roundTrip(req request) (response, error) {
 		if errors.As(err, &rerr) {
 			return response{}, errors.New(rerr.msg)
 		}
-		// Transport error: the frame may be half-written or half-read, so
-		// responses on this connection can no longer be matched to
-		// requests. Never reuse it.
-		c.stats.Faults++
-		c.opts.Metrics.Counter("netsearch_faults_total").Inc()
+		// Transport error or abandoned stream: the frame sequence may be
+		// half-written or half-read, so responses on this connection can no
+		// longer be matched to requests. Never reuse it.
 		c.broken = true
-		//lint:ignore lockheld c.mu owns the poisoned connection; it must be dead before the lock is released or a waiter could reuse the desynced frame stream
 		c.conn.Close()
 		c.opts.Metrics.Counter("netsearch_conns_discarded_total").Inc()
+		var eerr emitError
+		if errors.As(err, &eerr) {
+			// The caller aborted the stream. Its error (usually wrapping
+			// ErrStreamCanceled or a context cancellation) surfaces as-is —
+			// retrying would re-rank for a consumer that already left, and
+			// counting a fault would smear the caller's choice onto the
+			// network's record.
+			return response{}, fmt.Errorf("netsearch: %s %s: %w", req.Op, c.addr, eerr.err)
+		}
+		c.stats.Faults++
+		c.opts.Metrics.Counter("netsearch_faults_total").Inc()
 		lastErr = err
 	}
 	c.opts.Metrics.Counter("netsearch_op_failures_total").Inc()
@@ -586,6 +701,76 @@ func (c *Client) do(req request) (response, error) {
 		return response{}, remoteError{resp.Error}
 	}
 	return resp, nil
+}
+
+// doStream performs one "rankstream" exchange: send the request, then
+// decode Item frames into emit until the terminal EOS or Error frame.
+// Caller holds mu for the whole stream — the frame sequence is one
+// exchange, and interleaving another op's frames into it would desync the
+// connection. An emit failure comes back wrapped in emitError so the retry
+// loop knows the caller (not the wire) gave up.
+func (c *Client) doStream(req request, emit func(i int, item RankedBatch) error) error {
+	if c.opts.Timeout > 0 {
+		// One deadline bounds the whole stream, like any other op.
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		//lint:ignore errsink clearing the deadline is best effort — if the conn is broken the next exchange fails loudly anyway
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("netsearch: send: %w", err)
+	}
+	for {
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			return fmt.Errorf("netsearch: receive: %w", err)
+		}
+		switch {
+		case resp.Error != "":
+			return remoteError{resp.Error}
+		case resp.EOS:
+			return nil
+		case resp.Item != nil:
+			if err := emit(resp.Item.Index, RankedBatch{
+				Ranked: resp.Item.Ranked, Error: resp.Item.Error,
+			}); err != nil {
+				return emitError{err}
+			}
+		default:
+			// A frame that is neither item, error, nor EOS means the peer
+			// and we disagree about the protocol: treat it like a transport
+			// fault so the connection is discarded.
+			return errors.New("netsearch: rankstream frame with no item, error, or eos")
+		}
+	}
+}
+
+// RankDBsStream scatters a batch to the shard and emits each query's item
+// the moment its frame arrives, instead of waiting for the whole batch —
+// the streaming twin of RankDBsBatch. Items arrive tagged with their query
+// index. Like the other ops it is a pure read and retries transport faults
+// by replaying the whole stream on a fresh connection: emit can therefore
+// see an index more than once, with bit-identical contents (ranking is
+// deterministic), and consumers keep the first delivery. An error returned
+// by emit cancels the stream: the connection is discarded (frames for a
+// consumer that left would desync it), no retry happens, and the error is
+// returned wrapped — cancellation conventionally wraps ErrStreamCanceled.
+func (c *Client) RankDBsStream(queries []string, alg string, k int, trace string, emit func(i int, item RankedBatch) error) error {
+	req := request{Op: "rankstream", Queries: queries, Alg: alg, N: k, Trace: trace}
+	sp := c.opts.Metrics.StartSpan(`netsearch_op_seconds{op="rankstream"}`)
+	defer sp.End()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("netsearch: rankstream %s: client is closed", c.addr)
+	}
+	if req.Trace == "" {
+		req.Trace = c.trace
+	}
+	//lint:ignore lockheld c.mu serializes whole exchanges; the stream (and any transport retry of it) holds the lock end to end or another op's frames would interleave into the item sequence
+	_, err := c.retryLoop(req, func() (response, error) {
+		return response{}, c.doStream(req, emit)
+	})
+	return err
 }
 
 // Search implements core.Database.

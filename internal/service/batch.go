@@ -2,15 +2,25 @@ package service
 
 import (
 	"fmt"
+
+	"repro/internal/selection"
 )
 
-// Batch rank: the high-QPS serving entry point (DESIGN.md §14). A batch
+// Batch rank: the high-QPS serving entry point (DESIGN.md §14–15). A batch
 // request carries many queries that share one algorithm and one k; the
 // service parses the algorithm once, acquires the compiled snapshot once,
 // and reuses a single pooled rankScratch across every query — so the
 // per-query cost converges on pure tokenize+score, with the per-request
 // overhead (pool round-trips, snapshot load, timer, HTTP envelope when
 // called over the wire) amortized across the batch.
+//
+// Two layers of coalescing ride on top (DESIGN.md §15): identical queries
+// *within* one batch rank once and copy into each position
+// (rank_coalesced_total{scope=batch}), and a batch item identical to any
+// rank in flight elsewhere — another batch, a single /rank — joins that
+// flight instead of recomputing (scope=flight). Both are bit-identical to
+// independent ranks because every path funnels into rankSnapshot against
+// the same epoch's snapshot.
 
 // BatchItem is one query's outcome inside a batch ranking. Items fail
 // independently: a query that tokenizes to nothing reports its error here
@@ -29,39 +39,131 @@ type BatchItem struct {
 // RankBatch scores exactly like Rank (both funnel into rankSnapshot), so
 // batched and sequential rankings are bit-identical. It deliberately
 // bypasses the result cache: a batch is the bulk path, and filling the
-// LRU with its queries would evict the interactive working set.
+// LRU with its queries would evict the interactive working set. It still
+// coalesces through the in-flight map, which caches nothing.
 func (s *Service) RankBatch(queries []string, algName string, k int) ([]BatchItem, error) {
+	items := make([]BatchItem, len(queries))
+	err := s.RankBatchStream(queries, algName, k, func(i int, item BatchItem) error {
+		items[i] = item
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// RankBatchStream is RankBatch's streaming core: emit is called once per
+// query, in input order, the moment that query's ranking completes — the
+// HTTP layer flushes each item to the client instead of buffering the
+// batch (POST /rank/batch?stream=1). A non-nil error from emit aborts the
+// stream (the client disconnected); the error is returned as-is. Whole-
+// batch failures are detected and returned before the first emit, so the
+// HTTP layer can still answer them with a plain status code.
+//
+// The emitted Ranked slice is the caller's to keep: it is a fresh copy,
+// never shared with the cache, the coalescer, or other emits.
+func (s *Service) RankBatchStream(queries []string, algName string, k int, emit func(i int, item BatchItem) error) error {
 	reg := s.Metrics()
 	defer reg.Timer("service_rank_batch_seconds")()
 
 	if len(queries) == 0 {
 		reg.Counter("service_select_errors_total").Inc()
-		return nil, fmt.Errorf("service: empty batch: %w", ErrInvalid)
+		return fmt.Errorf("service: empty batch: %w", ErrInvalid)
 	}
 	alg, err := parseAlgorithm(algName)
 	if err != nil {
 		reg.Counter("service_select_errors_total").Inc()
-		return nil, err
+		return err
 	}
 	snap := s.snapshot()
 	if snap.compiled.NumDBs() == 0 {
 		reg.Counter("service_select_errors_total").Inc()
-		return nil, ErrNoModels
+		return ErrNoModels
 	}
+	algName = alg.Name()
 
 	scr := rankScratchPool.Get().(*rankScratch)
 	defer rankScratchPool.Put(scr)
 
-	items := make([]BatchItem, len(queries))
+	// seen holds this batch's completed rankings by term key, so a query
+	// repeated within the batch ranks once — the slices are shared across
+	// positions internally and copied per emit.
+	var seen map[string][]RankedDB
+	if len(queries) > 1 {
+		seen = make(map[string][]RankedDB, len(queries))
+	}
 	for i, q := range queries {
 		scr.terms = s.analyzer.AppendTokens(scr.terms[:0], q)
 		if len(scr.terms) == 0 {
-			items[i].Error = fmt.Sprintf("service: query has no index terms: %v", ErrInvalid)
+			err := emit(i, BatchItem{Error: fmt.Sprintf("service: query has no index terms: %v", ErrInvalid)})
+			if err != nil {
+				return err
+			}
 			continue
 		}
-		items[i].Ranked = s.rankSnapshot(snap, alg, scr, k)
+		scr.key = scr.key[:0]
+		for j, t := range scr.terms {
+			if j > 0 {
+				scr.key = append(scr.key, 0x1f)
+			}
+			scr.key = append(scr.key, t...)
+		}
+		termKey := string(scr.key)
+		if val, ok := seen[termKey]; ok {
+			reg.Counter(`service_rank_coalesced_total{scope="batch"}`).Inc()
+			if err := emit(i, BatchItem{Ranked: append([]RankedDB(nil), val...)}); err != nil {
+				return err
+			}
+			continue
+		}
+		key := rankCacheKey{query: termKey, alg: algName, k: k, epoch: snap.epoch}
+		f, leader := s.joinFlight(key)
+		var val []RankedDB
+		if leader {
+			val = s.rankBatchLeader(key, f, snap, alg, scr, k)
+		} else {
+			reg.Counter(`service_rank_coalesced_total{scope="flight"}`).Inc()
+			<-f.ready
+			if f.err != nil {
+				// The flight failed (its leader panicked). Deliver the error
+				// to this position — it asked for exactly that computation —
+				// but keep it out of `seen`, so a later duplicate retries
+				// fresh instead of inheriting the failure.
+				if err := emit(i, BatchItem{Error: f.err.Error()}); err != nil {
+					return err
+				}
+				continue
+			}
+			val = f.val
+		}
+		if seen != nil {
+			seen[termKey] = val
+		}
+		if err := emit(i, BatchItem{Ranked: append([]RankedDB(nil), val...)}); err != nil {
+			return err
+		}
 	}
 	reg.Counter("service_batch_ranks_total").Inc()
 	reg.Counter("service_batch_queries_total").Add(int64(len(queries)))
-	return items, nil
+	return nil
+}
+
+// rankBatchLeader computes one batch item as its flight's leader,
+// fulfilling exactly once even if scoring panics — the same discipline as
+// the single-query path, so a follower can never block forever.
+func (s *Service) rankBatchLeader(key rankCacheKey, f *flight, snap *snapshotSet, alg selection.Algorithm, scr *rankScratch, k int) []RankedDB {
+	fulfilled := false
+	defer func() {
+		if r := recover(); r != nil {
+			if !fulfilled {
+				s.fulfillFlight(key, f, nil, fmt.Errorf("service: rank panicked: %v", r))
+			}
+			panic(r)
+		}
+	}()
+	out := s.rankSnapshot(snap, alg, scr, k)
+	s.fulfillFlight(key, f, out, nil)
+	fulfilled = true
+	return out
 }

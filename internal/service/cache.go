@@ -1,12 +1,12 @@
 package service
 
-// rankCache is the bounded LRU of selection results, keyed by
+// rankCache is the bounded LRU of *completed* selection results, keyed by
 // (query terms, algorithm, k, snapshot epoch). Keying on the epoch makes
 // invalidation free: a resample bumps the generation, new queries key into
 // new entries, and the old generation's entries age out of the LRU on
-// their own. Concurrent identical misses are single-flighted — one caller
-// computes while the rest wait on the entry's ready channel — so a burst
-// of the same expensive query costs one scoring pass.
+// their own. In-flight deduplication is not this type's job — concurrent
+// identical misses single-flight through the coalescer (coalesce.go),
+// which serves batches too without letting them pollute this LRU.
 
 import "sync"
 
@@ -26,13 +26,7 @@ type rankCacheKey struct {
 
 type rankCacheEntry struct {
 	key rankCacheKey
-
-	// ready is closed by the computing caller once val/err are set. A
-	// waiter that acquired the entry before it was evicted still gets its
-	// result — eviction only removes the map reference.
-	ready chan struct{}
-	val   []RankedDB
-	err   error
+	val []RankedDB
 
 	prev, next *rankCacheEntry // LRU list, head = most recent
 }
@@ -52,68 +46,45 @@ func newRankCache(capacity int) *rankCache {
 	}
 }
 
-// probe is the hit path: it returns the entry for key refreshed to
-// most-recently-used, or nil on a miss. It allocates nothing — a cache
-// hit costs one map lookup and two pointer splices under the lock.
+// probe is the hit path: the cached result for key, refreshed to
+// most-recently-used, or (nil, false) on a miss. It allocates nothing — a
+// cache hit costs one map lookup and two pointer splices under the lock.
+// The returned slice is shared with future hits; callers copy before
+// handing it out.
 //
 //lint:hotpath
-func (c *rankCache) probe(key rankCacheKey) *rankCacheEntry {
+func (c *rankCache) probe(key rankCacheKey) ([]RankedDB, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.entries[key]
-	if e != nil {
-		c.moveToFront(e)
+	if e == nil {
+		return nil, false
 	}
-	return e
+	c.moveToFront(e)
+	return e.val, true
 }
 
-// acquire is probe composed with admit: the entry for key and whether
-// the caller leads its computation. The split exists so the hit path is
-// a separately provable //lint:hotpath function; acquire is the
-// convenience form for callers that do not care.
-func (c *rankCache) acquire(key rankCacheKey) (*rankCacheEntry, bool) {
-	if e := c.probe(key); e != nil {
-		return e, false
-	}
-	return c.admit(key)
-}
-
-// admit is the miss path: it installs a fresh entry for key and makes
-// the caller its leader, unless another caller admitted the same key
-// between the caller's probe and this lock acquisition — then the
-// existing entry is returned and leader is false. The leader must call
-// fulfill exactly once; everyone else waits on entry.ready.
-func (c *rankCache) admit(key rankCacheKey) (e *rankCacheEntry, leader bool) {
+// add installs (or refreshes) a completed result, evicting from the LRU
+// tail past capacity. Duplicate adds of the same key are idempotent — the
+// coalescer can hand one flight's value to several cache-admitting
+// followers, and results for one key are bit-identical by construction.
+func (c *rankCache) add(key rankCacheKey, val []RankedDB) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e = c.entries[key]; e != nil {
+	if e := c.entries[key]; e != nil {
+		e.val = val
 		c.moveToFront(e)
-		return e, false
+		return
 	}
-	e = &rankCacheEntry{key: key, ready: make(chan struct{})}
+	e := &rankCacheEntry{key: key, val: val}
 	c.entries[key] = e
 	c.pushFront(e)
 	for len(c.entries) > c.cap {
 		c.evict(c.tail)
 	}
-	return e, true
 }
 
-// fulfill publishes the leader's result. Errors are published to current
-// waiters but not cached: the entry is dropped so the next caller retries.
-func (c *rankCache) fulfill(e *rankCacheEntry, val []RankedDB, err error) {
-	e.val, e.err = val, err
-	close(e.ready)
-	if err != nil {
-		c.mu.Lock()
-		if c.entries[e.key] == e {
-			c.evict(e)
-		}
-		c.mu.Unlock()
-	}
-}
-
-// Len reports the number of cached (or in-flight) entries.
+// Len reports the number of cached entries.
 func (c *rankCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

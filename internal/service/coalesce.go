@@ -1,0 +1,92 @@
+package service
+
+// coalescer single-flights identical in-flight rank computations across
+// every caller of the serving path — GET /rank, POST /rank/batch (buffered
+// or streamed), and the cluster shard RPCs, which all funnel into
+// Service.rank / Service.RankBatchStream. Work is keyed by the same
+// (analyzed terms, algorithm, k, epoch) tuple as the result cache, so two
+// concurrent batches carrying the same query, or a batch item racing a
+// single /rank, compute once and fan the result out bit-identically.
+//
+// The coalescer is not a cache: a flight exists only while its leader
+// computes, and fulfill removes it. Completed results live (or not) in the
+// separate rankCache LRU — which is why batches can coalesce here without
+// polluting the interactive working set there. Keying on the epoch makes
+// cross-epoch coalescing impossible by construction: a Sample/Register/
+// Unregister bumps the generation, and requests on either side of the bump
+// key into different flights.
+
+import "sync"
+
+// flight is one in-flight rank computation. The leader closes ready after
+// setting val/err; followers block on ready and read them afterwards.
+// Errors ride the flight to its current followers — they asked for the
+// exact same computation — but the flight is gone from the map by then, so
+// an error is never served to a later, unrelated caller.
+type flight struct {
+	ready chan struct{}
+	val   []RankedDB
+	err   error
+}
+
+// coalescer tracks in-flight rank computations by key. The map is bounded
+// by serving concurrency, not by data volume: every entry has a live
+// leader goroutine computing it, and fulfill always removes it.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[rankCacheKey]*flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[rankCacheKey]*flight)}
+}
+
+// peek is the coalescer's fast path: the in-flight entry for key, or nil.
+// It allocates nothing — one map lookup under the lock.
+//
+//lint:hotpath
+func (co *coalescer) peek(key rankCacheKey) *flight {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.flights[key]
+}
+
+// join returns the flight for key and whether the caller leads it. A
+// leader must call fulfill exactly once; followers wait on flight.ready.
+// The split from peek exists so the lookup is a separately provable
+// //lint:hotpath function.
+func (co *coalescer) join(key rankCacheKey) (*flight, bool) {
+	if f := co.peek(key); f != nil {
+		return f, false
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if f := co.flights[key]; f != nil {
+		// Another caller admitted the same key between peek and this lock.
+		return f, false
+	}
+	f := &flight{ready: make(chan struct{})}
+	co.flights[key] = f
+	return f, true
+}
+
+// fulfill publishes the leader's result and retires the flight: followers
+// unblock, and the next identical request starts a fresh computation (or
+// hits the result cache, where the single-query path admitted it).
+func (co *coalescer) fulfill(key rankCacheKey, f *flight, val []RankedDB, err error) {
+	f.val, f.err = val, err
+	co.mu.Lock()
+	if co.flights[key] == f {
+		delete(co.flights, key)
+	}
+	co.mu.Unlock()
+	close(f.ready)
+}
+
+// inflight reports the number of live flights (tests and the
+// service_rank_flights_inflight gauge).
+func (co *coalescer) inflight() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.flights)
+}

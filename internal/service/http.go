@@ -26,6 +26,9 @@ import (
 //	GET    /rank?q=apple+pie&alg=cori&k=5  -> []RankedDB
 //	POST   /rank/batch                     {"queries":[...],"alg":"cori","k":5}
 //	                                       -> {"results":[{"ranked":[...]}...]}
+//	POST   /rank/batch?stream=1            same body -> NDJSON frames, one per
+//	                                       query as it completes (SSE with
+//	                                       Accept: text/event-stream)
 //	GET    /healthz
 //	GET    /metrics                        (when SetMetrics was called;
 //	                                        JSON or Prometheus text per Accept)
@@ -86,6 +89,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streamed responses (POST
+// /rank/batch?stream=1) push each frame through the middleware instead of
+// buffering until the handler returns.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps the API mux with the observability middleware: trace
@@ -228,6 +240,10 @@ func (s *Service) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	k := ticket.ClampK(req.K)
 	if k != req.K {
 		w.Header().Set("X-Degraded-K", strconv.Itoa(k))
+	}
+	if WantStream(r) {
+		s.streamRankBatch(w, r, req, k, k != req.K)
+		return
 	}
 	items, err := s.RankBatch(req.Queries, req.Alg, k)
 	if err != nil {

@@ -175,6 +175,12 @@ type Service struct {
 	compileMu sync.Mutex
 	cache     atomic.Pointer[rankCache]
 
+	// coal single-flights identical in-flight rank work across every
+	// serving path (coalesce.go). Unlike cache it is never nil: coalescing
+	// is a correctness-neutral dedup of concurrent identical computation,
+	// not a tunable store.
+	coal *coalescer
+
 	// gate is the admission controller for the rank endpoints (nil, the
 	// default, admits everything; see SetAdmission and DESIGN.md §14).
 	gate atomic.Pointer[admission.Gate]
@@ -212,6 +218,7 @@ func New(an analysis.Analyzer, st *store.Store) *Service {
 		traces:    telemetry.NewTraceIDs("req"),
 		entries:   make(map[string]*entry),
 		tripAfter: DefaultTripThreshold,
+		coal:      newCoalescer(),
 	}
 	s.cache.Store(newRankCache(DefaultRankCacheSize))
 	return s
@@ -779,10 +786,6 @@ func (s *Service) rank(query string, algName string, k int) ([]RankedDB, string,
 	}
 
 	cache := s.cache.Load()
-	if cache == nil {
-		return s.rankSnapshot(snap, alg, scr, k), "bypass", nil
-	}
-
 	scr.key = scr.key[:0]
 	for i, t := range scr.terms {
 		if i > 0 {
@@ -791,35 +794,72 @@ func (s *Service) rank(query string, algName string, k int) ([]RankedDB, string,
 		scr.key = append(scr.key, t...)
 	}
 	key := rankCacheKey{query: string(scr.key), alg: alg.Name(), k: k, epoch: snap.epoch}
-	e, leader := cache.acquire(key)
+	status := "bypass" // cache disabled; coalescing still applies
+	if cache != nil {
+		if val, ok := cache.probe(key); ok {
+			s.Metrics().Counter("service_select_cache_hits_total").Inc()
+			return append([]RankedDB(nil), val...), "hit", nil
+		}
+		status = "miss"
+	}
+	f, leader := s.joinFlight(key)
 	if !leader {
 		reg := s.Metrics()
-		reg.Counter("service_select_cache_hits_total").Inc()
-		<-e.ready
-		if e.err != nil {
-			return nil, "hit", e.err
+		reg.Counter(`service_rank_coalesced_total{scope="flight"}`).Inc()
+		<-f.ready
+		if f.err != nil {
+			return nil, status, f.err
 		}
-		return append([]RankedDB(nil), e.val...), "hit", nil
+		if cache != nil {
+			// The flight's leader may have been a batch (which never admits
+			// into the LRU); the single-query path wants this result cached.
+			cache.add(key, f.val)
+			reg.Counter("service_select_cache_hits_total").Inc()
+			status = "hit"
+		}
+		return append([]RankedDB(nil), f.val...), status, nil
 	}
-	s.Metrics().Counter("service_select_cache_misses_total").Inc()
+	if cache != nil {
+		s.Metrics().Counter("service_select_cache_misses_total").Inc()
+	}
 	// The leader owes fulfill exactly once. If scoring panics (e.g.
 	// rankSnapshot's defensive "not compiled" panic, recovered by
-	// net/http), publish an error — unblocking every waiter and evicting
-	// the entry — before letting the panic propagate.
+	// net/http), publish an error — unblocking every waiter and retiring
+	// the flight — before letting the panic propagate.
 	fulfilled := false
 	defer func() {
 		if r := recover(); r != nil {
 			if !fulfilled {
-				cache.fulfill(e, nil, fmt.Errorf("service: rank panicked: %v", r))
+				s.fulfillFlight(key, f, nil, fmt.Errorf("service: rank panicked: %v", r))
 			}
 			panic(r)
 		}
 	}()
 	out := s.rankSnapshot(snap, alg, scr, k)
-	cache.fulfill(e, out, nil)
+	s.fulfillFlight(key, f, out, nil)
 	fulfilled = true
-	// Hand back a copy: the cached slice is shared with future hits.
-	return append([]RankedDB(nil), out...), "miss", nil
+	if cache != nil {
+		cache.add(key, out)
+	}
+	// Hand back a copy: the cached slice is shared with followers and hits.
+	return append([]RankedDB(nil), out...), status, nil
+}
+
+// joinFlight enters the coalescer for key, maintaining the
+// service_rank_flights_inflight gauge (tests assert it returns to zero —
+// a leaked flight would wedge every future identical query).
+func (s *Service) joinFlight(key rankCacheKey) (*flight, bool) {
+	f, leader := s.coal.join(key)
+	if leader {
+		s.Metrics().Gauge("service_rank_flights_inflight").Set(int64(s.coal.inflight()))
+	}
+	return f, leader
+}
+
+// fulfillFlight publishes a leader's result and drops the in-flight gauge.
+func (s *Service) fulfillFlight(key rankCacheKey, f *flight, val []RankedDB, err error) {
+	s.coal.fulfill(key, f, val, err)
+	s.Metrics().Gauge("service_rank_flights_inflight").Set(int64(s.coal.inflight()))
 }
 
 // rankSnapshot scores and ranks against a compiled snapshot using the

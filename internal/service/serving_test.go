@@ -139,77 +139,84 @@ func TestRankCacheDisabled(t *testing.T) {
 
 func TestRankCacheLRUBound(t *testing.T) {
 	c := newRankCache(3)
-	fill := func(q string) {
-		e, leader := c.acquire(rankCacheKey{query: q})
-		if leader {
-			c.fulfill(e, []RankedDB{{Name: q}}, nil)
-		}
-	}
 	for _, q := range []string{"a", "b", "c", "d", "e"} {
-		fill(q)
+		c.add(rankCacheKey{query: q}, []RankedDB{{Name: q}})
 	}
 	if c.Len() != 3 {
 		t.Fatalf("cache holds %d entries, cap 3", c.Len())
 	}
 	// "c","d","e" should remain; touching "c" then inserting evicts "d".
-	if _, leader := c.acquire(rankCacheKey{query: "c"}); leader {
+	if _, ok := c.probe(rankCacheKey{query: "c"}); !ok {
 		t.Fatal("entry c was evicted prematurely")
 	}
-	fill("f")
-	if _, leader := c.acquire(rankCacheKey{query: "d"}); !leader {
+	c.add(rankCacheKey{query: "f"}, []RankedDB{{Name: "f"}})
+	if _, ok := c.probe(rankCacheKey{query: "d"}); ok {
 		t.Fatal("LRU entry d survived eviction")
 	}
-	// Cleanup: the probes above created leader entries; fulfill them so no
-	// waiter could ever block (none exist in this test, but keep the
-	// contract honest).
-	for _, q := range []string{"d"} {
-		if e := c.entries[rankCacheKey{query: q}]; e != nil && e.val == nil {
-			c.fulfill(e, nil, nil)
-		}
+	// Duplicate adds are idempotent: same key refreshes in place.
+	c.add(rankCacheKey{query: "c"}, []RankedDB{{Name: "c", Score: 2}})
+	if c.Len() != 3 {
+		t.Fatalf("idempotent add grew the cache to %d entries", c.Len())
+	}
+	if val, ok := c.probe(rankCacheKey{query: "c"}); !ok || val[0].Score != 2 {
+		t.Fatalf("refreshed entry c = %+v ok=%v", val, ok)
 	}
 }
 
-func TestRankCacheSingleFlight(t *testing.T) {
-	c := newRankCache(8)
+func TestCoalescerSingleFlight(t *testing.T) {
+	co := newCoalescer()
 	key := rankCacheKey{query: "q"}
-	e, leader := c.acquire(key)
+	f, leader := co.join(key)
 	if !leader {
-		t.Fatal("first acquire not leader")
+		t.Fatal("first join not leader")
+	}
+	if co.inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", co.inflight())
 	}
 	const waiters = 8
-	var wg sync.WaitGroup
+	var wg, joined sync.WaitGroup
 	results := make([][]RankedDB, waiters)
 	for i := 0; i < waiters; i++ {
 		wg.Add(1)
+		joined.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			we, wl := c.acquire(key)
+			wf, wl := co.join(key)
+			joined.Done()
 			if wl {
 				t.Errorf("waiter %d became leader", i)
-				c.fulfill(we, nil, nil)
+				co.fulfill(key, wf, nil, nil)
 				return
 			}
-			<-we.ready
-			results[i] = we.val
+			<-wf.ready
+			results[i] = wf.val
 		}(i)
 	}
+	// Followers must join before the leader fulfills: fulfill retires the
+	// flight, so a straggler would (correctly) lead a fresh one.
+	joined.Wait()
 	want := []RankedDB{{Name: "db1", Score: 1}}
-	c.fulfill(e, want, nil)
+	co.fulfill(key, f, want, nil)
 	wg.Wait()
 	for i, r := range results {
 		if !reflect.DeepEqual(r, want) {
 			t.Fatalf("waiter %d got %+v", i, r)
 		}
 	}
-
-	// Errors are delivered to waiters but not cached.
-	e2, leader := c.acquire(rankCacheKey{query: "err"})
-	if !leader {
-		t.Fatal("error-case acquire not leader")
+	if co.inflight() != 0 {
+		t.Fatalf("inflight = %d after fulfill, want 0", co.inflight())
 	}
-	c.fulfill(e2, nil, errors.New("boom"))
-	if _, leader := c.acquire(rankCacheKey{query: "err"}); !leader {
-		t.Fatal("failed entry was cached")
+
+	// Errors reach current followers only: the flight is gone from the map
+	// at fulfill, so the next identical request starts fresh.
+	key2 := rankCacheKey{query: "err"}
+	f2, leader := co.join(key2)
+	if !leader {
+		t.Fatal("error-case join not leader")
+	}
+	co.fulfill(key2, f2, nil, errors.New("boom"))
+	if _, leader := co.join(key2); !leader {
+		t.Fatal("failed flight stayed joinable")
 	}
 }
 

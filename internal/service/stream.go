@@ -1,0 +1,156 @@
+package service
+
+// Streaming batch rank (DESIGN.md §15): POST /rank/batch?stream=1 answers
+// with one frame per query, flushed the moment that query's ranking
+// completes, instead of buffering the whole batch — so a client's
+// time-to-first-result is one query's latency, not the batch's. The frame
+// format is NDJSON by default; a client sending "Accept: text/event-stream"
+// gets the same frames as SSE data events. Each item frame carries its
+// query's input index; the terminal frame is {"done":true,...} — its
+// absence tells a client the stream was cut mid-flight.
+//
+// Whole-batch errors (bad algorithm, empty batch, cold federation) are
+// detected before the first frame and answered as a plain JSON error with
+// the usual status code, exactly like the buffered path. The request holds
+// one admission ticket for the whole stream, released after the last
+// flush.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// streamItem is one query's frame in a rank stream. Ranked is typed any so
+// the cluster front (whose rows are netsearch.RankedDB) shares the writer;
+// both row types marshal to the same {"name","score"} JSON.
+type streamItem struct {
+	Index  int    `json:"index"`
+	Ranked any    `json:"ranked,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// streamDone is the terminal frame: Results counts the item frames sent,
+// and Degraded mirrors the buffered response's flag.
+type streamDone struct {
+	Done     bool `json:"done"`
+	Results  int  `json:"results"`
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// WantStream reports whether a batch rank request asked for a streamed
+// response (?stream=1).
+func WantStream(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// StreamWriter writes rank stream frames as NDJSON (default) or SSE
+// (negotiated from the request's Accept header), flushing after every
+// frame. Headers are written lazily on the first frame, so a handler that
+// fails before emitting anything can still answer with a plain error
+// response. Exported for the cluster front, which streams the same wire
+// shape.
+type StreamWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	sse     bool
+	started bool
+}
+
+// NewStreamWriter negotiates the stream format for the request. The
+// response is untouched until the first frame.
+func NewStreamWriter(w http.ResponseWriter, r *http.Request) *StreamWriter {
+	flusher, _ := w.(http.Flusher)
+	return &StreamWriter{
+		w:       w,
+		flusher: flusher,
+		sse:     strings.Contains(r.Header.Get("Accept"), "text/event-stream"),
+	}
+}
+
+// Started reports whether any frame (and therefore the response header)
+// has been written.
+func (sw *StreamWriter) Started() bool { return sw.started }
+
+// Item writes one query's frame. ranked may be any slice that marshals to
+// rows of {"name","score"} (service.RankedDB, netsearch.RankedDB).
+func (sw *StreamWriter) Item(index int, ranked any, errMsg string) error {
+	return sw.frame(streamItem{Index: index, Ranked: ranked, Error: errMsg})
+}
+
+// Done writes the terminal frame.
+func (sw *StreamWriter) Done(results int, degraded bool) error {
+	return sw.frame(streamDone{Done: true, Results: results, Degraded: degraded})
+}
+
+func (sw *StreamWriter) frame(v any) error {
+	if !sw.started {
+		sw.started = true
+		h := sw.w.Header()
+		if sw.sse {
+			h.Set("Content-Type", "text/event-stream")
+		} else {
+			h.Set("Content-Type", "application/x-ndjson")
+		}
+		h.Set("Cache-Control", "no-cache")
+		h.Set("X-Accel-Buffering", "no") // tell buffering proxies not to hold frames
+		sw.w.WriteHeader(http.StatusOK)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if sw.sse {
+		if _, err := fmt.Fprintf(sw.w, "data: %s\n\n", b); err != nil {
+			return err
+		}
+	} else {
+		b = append(b, '\n')
+		if _, err := sw.w.Write(b); err != nil {
+			return err
+		}
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return nil
+}
+
+// streamRankBatch serves one POST /rank/batch?stream=1 request. The
+// caller has already admitted the request and clamped k; the admission
+// ticket's deferred Release fires after the stream's last flush.
+func (s *Service) streamRankBatch(w http.ResponseWriter, r *http.Request, req batchRankRequest, k int, degraded bool) {
+	reg := s.Metrics()
+	sw := NewStreamWriter(w, r)
+	ctx := r.Context()
+	results := 0
+	err := s.RankBatchStream(req.Queries, req.Alg, k, func(i int, item BatchItem) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // client disconnected; stop ranking for nobody
+		}
+		results++
+		return sw.Item(i, item.Ranked, item.Error)
+	})
+	if err != nil {
+		if !sw.Started() {
+			// Whole-batch refusal before any frame: answer like the
+			// buffered path would.
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		// Mid-stream cut: the client is gone (context canceled or a write
+		// failed). There is no one left to tell.
+		reg.Counter("service_stream_aborts_total").Inc()
+		return
+	}
+	if err := sw.Done(results, degraded); err != nil {
+		reg.Counter("service_stream_aborts_total").Inc()
+		return
+	}
+	reg.Counter("service_stream_ranks_total").Inc()
+}

@@ -38,6 +38,7 @@ package telemetry
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -252,6 +253,20 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Histograms[name] = h.Snapshot()
 	}
 	return snap
+}
+
+// CounterSum sums every counter whose full name (label syntax included)
+// contains substr — the tool for totalling one metric across label values
+// or prefixed tiers, e.g. CounterSum(`rank_coalesced_total{scope="flight"}`)
+// over a snapshot that may carry the service_ or cluster_ spelling.
+func (s Snapshot) CounterSum(substr string) int64 {
+	var total int64
+	for name, v := range s.Counters { // summation is order-independent
+		if strings.Contains(name, substr) {
+			total += v
+		}
+	}
+	return total
 }
 
 // names returns the sorted metric names of one kind — the iteration order
